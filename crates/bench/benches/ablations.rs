@@ -1,0 +1,71 @@
+//! Ablation benches: wall-clock cost of the design variants whose
+//! *quality* is compared by `reproduce ablations`. Keeps the harness
+//! honest that no variant wins by virtue of doing less work per period.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use streamshed_control::loop_::{LoopConfig, ShedMode};
+use streamshed_experiments::runner::{run_with_strategy, StrategyKind};
+use streamshed_workload::{ArrivalTrace, ParetoTrace};
+use streamshed_zdomain::design::{design_for_integrator, DesignSpec};
+
+fn bench_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_runs_120s");
+    group.sample_size(10);
+    let times = ParetoTrace::builder()
+        .mean_rate(300.0)
+        .bias(0.5)
+        .seed(11)
+        .build()
+        .arrival_times(120.0);
+
+    let variants: Vec<(&str, LoopConfig)> = vec![
+        ("default", LoopConfig::paper_default()),
+        (
+            "network_shed",
+            LoopConfig::paper_default().with_shed_mode(ShedMode::Network),
+        ),
+        (
+            "no_anti_windup",
+            LoopConfig::paper_default().with_anti_windup(false),
+        ),
+        (
+            "pole_0.5",
+            LoopConfig::paper_default()
+                .with_controller(design_for_integrator(&DesignSpec::from_double_pole(0.5))),
+        ),
+        (
+            "pole_0.9",
+            LoopConfig::paper_default()
+                .with_controller(design_for_integrator(&DesignSpec::from_double_pole(0.9))),
+        ),
+    ];
+    for (name, cfg) in variants {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(run_with_strategy(
+                    StrategyKind::Ctrl,
+                    &times,
+                    &cfg,
+                    120,
+                    None,
+                    None,
+                    11,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_ablation_figure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_figure");
+    group.sample_size(10);
+    group.bench_function("reproduce_ablations", |b| {
+        b.iter(|| black_box(streamshed_experiments::ablations::run(11)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_variants, bench_full_ablation_figure);
+criterion_main!(benches);

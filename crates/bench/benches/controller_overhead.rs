@@ -1,0 +1,104 @@
+//! §5.1: controller computational overhead.
+//!
+//! The paper reports ~20 µs per control period on a 2.4 GHz Pentium 4.
+//! These benches measure the difference equation (Eq. 10), the full CTRL
+//! period decision (estimation + control + actuation), both heuristics,
+//! and the offline design procedures.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use streamshed_control::controller::FeedbackController;
+use streamshed_control::loop_::LoopConfig;
+use streamshed_control::strategy::{AuroraStrategy, BaselineStrategy, CtrlStrategy};
+use streamshed_engine::hook::{ControlHook, PeriodSnapshot};
+use streamshed_engine::time::{secs, SimTime};
+use streamshed_zdomain::design::{design_for_integrator, pole_placement, DesignSpec};
+use streamshed_zdomain::poly::Poly;
+use streamshed_zdomain::tf::TransferFunction;
+
+fn snapshot(k: u64) -> PeriodSnapshot {
+    PeriodSnapshot {
+        k,
+        now: SimTime::ZERO + secs(k + 1),
+        period: secs(1),
+        offered: 400,
+        admitted: 300,
+        dropped_entry: 100,
+        dropped_network: 0,
+        completed: 190,
+        outstanding: 350 + (k % 50),
+        queued_tuples: 350,
+        queued_load_us: 350.0 * 5105.0,
+        measured_cost_us: Some(5105.0 + (k % 7) as f64 * 10.0),
+        mean_delay_ms: Some(1900.0),
+        cpu_busy_us: 970_000,
+    }
+}
+
+fn bench_difference_equation(c: &mut Criterion) {
+    c.bench_function("controller/eq10_compute_commit", |b| {
+        let mut ctrl = FeedbackController::paper();
+        let mut i = 0u64;
+        b.iter(|| {
+            let e = (i % 100) as f64 / 50.0 - 1.0;
+            let u = ctrl.compute(black_box(e), 5.105e-3, 1.0, 0.97);
+            ctrl.commit(e, u);
+            i += 1;
+            u
+        });
+    });
+}
+
+fn bench_full_decisions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("period_decision");
+    group.bench_function("ctrl", |b| {
+        let mut s = CtrlStrategy::from_config(&LoopConfig::paper_default());
+        let mut k = 0u64;
+        b.iter(|| {
+            let d = s.on_period(&snapshot(k));
+            k += 1;
+            black_box(d)
+        });
+    });
+    group.bench_function("baseline", |b| {
+        let mut s = BaselineStrategy::from_config(&LoopConfig::paper_default());
+        let mut k = 0u64;
+        b.iter(|| {
+            let d = s.on_period(&snapshot(k));
+            k += 1;
+            black_box(d)
+        });
+    });
+    group.bench_function("aurora", |b| {
+        let mut s = AuroraStrategy::from_config(&LoopConfig::paper_default());
+        let mut k = 0u64;
+        b.iter(|| {
+            let d = s.on_period(&snapshot(k));
+            k += 1;
+            black_box(d)
+        });
+    });
+    group.finish();
+}
+
+fn bench_design(c: &mut Criterion) {
+    let mut group = c.benchmark_group("design");
+    group.bench_function("closed_form_integrator", |b| {
+        b.iter(|| design_for_integrator(black_box(&DesignSpec::paper_default())))
+    });
+    group.bench_function("general_pole_placement_2nd_order", |b| {
+        let a = &Poly::new(vec![-1.0, 1.0]) * &Poly::new(vec![-0.9, 1.0]);
+        let plant = TransferFunction::new(Poly::new(vec![0.1, 0.2]), a).unwrap();
+        let desired = Poly::from_real_roots(&[0.5, 0.6, 0.7]);
+        b.iter(|| pole_placement(black_box(&plant), black_box(&desired)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_difference_equation,
+    bench_full_decisions,
+    bench_design
+);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Engine throughput: how fast the virtual-time simulator chews through
+//! simulated workload (tuples and operator invocations per wall second).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use streamshed_engine::hook::NoShedding;
+use streamshed_engine::networks::{identification_network, monitoring_network, uniform_chain};
+use streamshed_engine::operator::{Filter, Map, OperatorLogic, OutputBuffer};
+use streamshed_engine::sim::{SimConfig, Simulator};
+use streamshed_engine::time::{micros, secs, SimTime};
+use streamshed_engine::tuple::{RootId, Tuple};
+
+fn uniform_arrivals(rate: f64, dur_s: f64) -> Vec<SimTime> {
+    let n = (rate * dur_s) as u64;
+    let gap = 1e6 / rate;
+    (0..n)
+        .map(|i| SimTime((i as f64 * gap) as u64))
+        .collect()
+}
+
+fn bench_operator_invocation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("operator_process");
+    group.throughput(Throughput::Elements(1));
+    let tuple = Tuple::new(RootId(0), SimTime::ZERO, 3, 0.4);
+
+    group.bench_function("filter", |b| {
+        let mut op = Filter::value_below(0.5);
+        let mut out = OutputBuffer::new();
+        b.iter(|| {
+            out.clear();
+            op.process(0, black_box(&tuple), SimTime::ZERO, &mut out);
+            out.len()
+        });
+    });
+    group.bench_function("map", |b| {
+        let mut op = Map::scale(2.0);
+        let mut out = OutputBuffer::new();
+        b.iter(|| {
+            out.clear();
+            op.process(0, black_box(&tuple), SimTime::ZERO, &mut out);
+            out.len()
+        });
+    });
+    group.finish();
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_60s");
+    group.sample_size(10);
+
+    type NetworkFactory = fn() -> streamshed_engine::network::QueryNetwork;
+    fn chain4() -> streamshed_engine::network::QueryNetwork {
+        uniform_chain(4, micros(5000))
+    }
+    let cases: [(&str, NetworkFactory); 3] = [
+        ("chain4", chain4),
+        ("identification14", identification_network),
+        ("monitoring_joins", monitoring_network),
+    ];
+    for (name, make) in cases {
+        let arrivals = uniform_arrivals(150.0, 60.0);
+        group.throughput(Throughput::Elements(arrivals.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &arrivals, |b, arr| {
+            b.iter(|| {
+                let sim = Simulator::new(make(), SimConfig::paper_default());
+                let report = sim.run(arr, &mut NoShedding, secs(60));
+                black_box(report.completed)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_overloaded_simulation(c: &mut Criterion) {
+    // Overload means long queues and in-buffer staging — a different
+    // execution profile than the underloaded path.
+    let mut group = c.benchmark_group("simulate_overloaded_60s");
+    group.sample_size(10);
+    let arrivals = uniform_arrivals(400.0, 60.0);
+    group.throughput(Throughput::Elements(arrivals.len() as u64));
+    group.bench_function("identification14_2x", |b| {
+        b.iter(|| {
+            let sim = Simulator::new(identification_network(), SimConfig::paper_default());
+            let report = sim.run(&arrivals, &mut NoShedding, secs(60));
+            black_box(report.completed)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_operator_invocation,
+    bench_simulation,
+    bench_overloaded_simulation
+);
+criterion_main!(benches);

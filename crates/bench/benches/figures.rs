@@ -1,0 +1,102 @@
+//! Per-figure regeneration benches: one benchmark per table/figure of the
+//! paper, timing the exact code path `reproduce <fig>` executes (the
+//! cheap figures at full scale; the multi-run sweeps at reduced scale via
+//! their building blocks).
+//!
+//! The ground-truth regeneration lives in the `reproduce` binary; these
+//! benches keep the cost of each experiment visible and guard against
+//! performance regressions in the harness.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use streamshed_control::loop_::LoopConfig;
+use streamshed_experiments as exp;
+use streamshed_experiments::runner::{run_with_strategy, StrategyKind};
+use streamshed_workload::{ArrivalTrace, ParetoTrace, WebLikeTrace};
+
+fn bench_identification_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures_identification");
+    group.sample_size(10);
+    group.bench_function("fig05_step_responses", |b| {
+        b.iter(|| black_box(exp::fig05::run()))
+    });
+    group.bench_function("fig06_model_step", |b| b.iter(|| black_box(exp::fig06::run())));
+    group.bench_function("fig07_model_sine", |b| b.iter(|| black_box(exp::fig07::run())));
+    group.bench_function("fig08_openloop_failures", |b| {
+        b.iter(|| black_box(exp::fig08::run()))
+    });
+    group.finish();
+}
+
+fn bench_trace_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures_traces");
+    group.sample_size(10);
+    group.bench_function("fig13_traces", |b| b.iter(|| black_box(exp::fig13::run(7))));
+    group.bench_function("fig14_cost_trace", |b| b.iter(|| black_box(exp::fig14::run(7))));
+    group.finish();
+}
+
+fn bench_headline_figures(c: &mut Criterion) {
+    // Figs 12/15/16 share the same underlying runs; bench one strategy
+    // run per trace at full scale, and the complete figures once.
+    let mut group = c.benchmark_group("figures_headline");
+    group.sample_size(10);
+
+    let web = WebLikeTrace::paper_default(7).arrival_times(400.0);
+    let cfg = LoopConfig::paper_default();
+    group.bench_function("single_run_ctrl_web_400s", |b| {
+        b.iter(|| {
+            black_box(run_with_strategy(
+                StrategyKind::Ctrl,
+                &web,
+                &cfg,
+                400,
+                None,
+                None,
+                7,
+            ))
+        })
+    });
+    group.bench_function("single_run_aurora_pareto_400s", |b| {
+        let pareto = ParetoTrace::paper_default(7).arrival_times(400.0);
+        b.iter(|| {
+            black_box(run_with_strategy(
+                StrategyKind::Aurora,
+                &pareto,
+                &cfg,
+                400,
+                None,
+                None,
+                7,
+            ))
+        })
+    });
+    group.bench_function("fig12_full", |b| b.iter(|| black_box(exp::fig12::run(7))));
+    group.bench_function("fig15_full", |b| b.iter(|| black_box(exp::fig15::run(7))));
+    group.bench_function("fig16_full", |b| b.iter(|| black_box(exp::fig16::run(7))));
+    group.finish();
+}
+
+fn bench_sweep_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures_sweeps");
+    group.sample_size(10);
+    group.bench_function("fig17_burstiness_sweep", |b| {
+        b.iter(|| black_box(exp::fig17::run(7)))
+    });
+    group.bench_function("fig18_target_changes", |b| {
+        b.iter(|| black_box(exp::fig18::run(7)))
+    });
+    group.bench_function("fig19_period_sweep", |b| {
+        b.iter(|| black_box(exp::fig19::run(7)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_identification_figures,
+    bench_trace_figures,
+    bench_headline_figures,
+    bench_sweep_figures
+);
+criterion_main!(benches);

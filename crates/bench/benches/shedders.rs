@@ -1,0 +1,58 @@
+//! Actuator costs: the per-tuple entry coin flip and the per-boundary
+//! in-network shed sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use streamshed_control::loop_::{LoopConfig, ShedMode};
+use streamshed_control::shedder::{EntryShedder, NetworkShedder};
+use streamshed_control::strategy::CtrlStrategy;
+use streamshed_engine::sim::{SimConfig, Simulator};
+use streamshed_engine::networks::identification_network;
+use streamshed_engine::time::{secs, SimTime};
+
+fn bench_arithmetic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shedder_arithmetic");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("entry_alpha", |b| {
+        let mut v = 100.0;
+        b.iter(|| {
+            v = (v + 1.0) % 500.0;
+            EntryShedder::alpha_for(black_box(v), 400.0)
+        });
+    });
+    group.bench_function("network_ls", |b| {
+        let mut v = 100.0;
+        b.iter(|| {
+            v = (v + 1.0) % 500.0;
+            NetworkShedder::load_to_shed_us(1e6, 400.0, black_box(v), 5105.0, 1.0)
+        });
+    });
+    group.finish();
+}
+
+fn bench_shed_modes_end_to_end(c: &mut Criterion) {
+    // Full 60 s closed-loop runs under 2× overload: entry vs network
+    // actuation (the wall-clock cost of the in-network queue sweep).
+    let mut group = c.benchmark_group("closed_loop_60s");
+    group.sample_size(10);
+    let arrivals: Vec<SimTime> = {
+        let gap = 1e6 / 400.0;
+        (0..(400 * 60)).map(|i| SimTime((i as f64 * gap) as u64)).collect()
+    };
+    for (name, mode) in [("entry", ShedMode::Entry), ("network", ShedMode::Network)] {
+        let cfg = LoopConfig::paper_default().with_shed_mode(mode);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut s = CtrlStrategy::from_config(&cfg);
+                let sim =
+                    Simulator::new(identification_network(), SimConfig::paper_default());
+                let report = sim.run(&arrivals, &mut s, secs(60));
+                black_box(report.completed)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_arithmetic, bench_shed_modes_end_to_end);
+criterion_main!(benches);

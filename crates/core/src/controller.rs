@@ -1,0 +1,236 @@
+//! The runtime feedback controller (Eq. 10, Appendix A).
+//!
+//! `u(k) = (H/(c·T))·[b0·e(k) + b1·e(k−1)] − a·u(k−1)`
+//!
+//! with gain-normalised parameters from
+//! [`streamshed_zdomain::design::design_for_integrator`]. The controller
+//! output `u` is a *rate* (tuples/second): the allowed growth of the
+//! virtual queue over the next period, to which the actuator adds the
+//! measured departure rate `fout` to obtain the desired admission rate
+//! `v = u + fout`.
+//!
+//! One DSMS-specific addition (in the spirit of §4.5): **anti-windup** by
+//! back-calculation. The actuator saturates — it cannot admit more than
+//! arrives (`v ≤ fin`) nor a negative amount (`v ≥ 0`). Feeding the
+//! *saturated* `u` back into the recursion keeps the controller state
+//! consistent with what was actually applied; without it, long idle
+//! stretches wind the state up and the first burst overshoots massively.
+
+use serde::{Deserialize, Serialize};
+use streamshed_zdomain::design::ControllerParams;
+
+/// The paper's first-order delay controller.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FeedbackController {
+    params: ControllerParams,
+    e_prev: f64,
+    u_prev: f64,
+}
+
+impl FeedbackController {
+    /// Creates a controller with zero initial conditions
+    /// (`e(−1) = u(−1) = 0`, matching the z-domain analysis).
+    pub fn new(params: ControllerParams) -> Self {
+        Self {
+            params,
+            e_prev: 0.0,
+            u_prev: 0.0,
+        }
+    }
+
+    /// The paper's published tuning (`b0 = 0.4, b1 = −0.31, a = −0.8`).
+    pub fn paper() -> Self {
+        Self::new(ControllerParams::PAPER)
+    }
+
+    /// The parameters in use.
+    pub fn params(&self) -> ControllerParams {
+        self.params
+    }
+
+    /// Computes the raw control output `u(k)` in tuples/second.
+    ///
+    /// * `error_s` — `e(k) = yd − ŷ(k)` in seconds;
+    /// * `cost_s` — current per-tuple cost estimate `c(k)`, seconds;
+    /// * `period_s` — control period `T`, seconds;
+    /// * `headroom` — `H`.
+    ///
+    /// Call [`Self::commit`] afterwards with the *applied* (possibly
+    /// saturated) value to update the state.
+    pub fn compute(&mut self, error_s: f64, cost_s: f64, period_s: f64, headroom: f64) -> f64 {
+        assert!(cost_s > 0.0 && period_s > 0.0 && headroom > 0.0);
+        let gain = headroom / (cost_s * period_s);
+        gain * (self.params.b0 * error_s + self.params.b1 * self.e_prev)
+            - self.params.a * self.u_prev
+    }
+
+    /// Commits the period: records the error and the **applied** control
+    /// value (anti-windup back-calculation).
+    pub fn commit(&mut self, error_s: f64, applied_u: f64) {
+        self.e_prev = error_s;
+        self.u_prev = applied_u;
+    }
+
+    /// Resets the dynamic state (e.g. after a set-point change if desired;
+    /// the paper's controller keeps state across set-point changes and so
+    /// does the default loop).
+    pub fn reset(&mut self) {
+        self.e_prev = 0.0;
+        self.u_prev = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamshed_zdomain::design::{design_for_integrator, DesignSpec};
+
+    const C: f64 = 5.263e-3; // seconds
+    const T: f64 = 1.0;
+    const H: f64 = 0.97;
+
+    /// Simulates the closed loop against the ideal plant
+    /// q(k) = q(k−1) + u_applied(k)·T (the queue *is* the integrator) and
+    /// returns the ŷ trajectory.
+    fn simulate_ideal_loop(target_s: f64, steps: usize) -> Vec<f64> {
+        let mut ctrl = FeedbackController::paper();
+        let mut q: f64 = 0.0;
+        let mut ys = Vec::with_capacity(steps);
+        for _ in 0..steps {
+            let y = (q + 1.0) * C / H;
+            ys.push(y);
+            let e = target_s - y;
+            let u = ctrl.compute(e, C, T, H);
+            ctrl.commit(e, u);
+            // Unbounded actuator: queue follows the controller exactly.
+            q = (q + u * T).max(0.0);
+        }
+        ys
+    }
+
+    #[test]
+    fn converges_to_target_in_a_few_periods() {
+        let ys = simulate_ideal_loop(2.0, 40);
+        // 63% of the way by ~period 4, settled by ~12 (paper's design).
+        assert!(ys[4] > 0.55 * 2.0, "y[4] = {}", ys[4]);
+        for y in &ys[12..] {
+            assert!((y - 2.0).abs() < 0.15, "settled value {y}");
+        }
+    }
+
+    #[test]
+    fn no_overshoot_with_critical_damping() {
+        let ys = simulate_ideal_loop(2.0, 60);
+        let peak = ys.iter().cloned().fold(0.0, f64::max);
+        assert!(peak < 2.0 * 1.07, "peak {peak}");
+    }
+
+    #[test]
+    fn tracks_setpoint_changes() {
+        let mut ctrl = FeedbackController::paper();
+        let mut q: f64 = 0.0;
+        let run_to = |target: f64, steps: usize, ctrl: &mut FeedbackController,
+                          q: &mut f64| {
+            let mut last = 0.0;
+            for _ in 0..steps {
+                last = (*q + 1.0) * C / H;
+                let e = target - last;
+                let u = ctrl.compute(e, C, T, H);
+                ctrl.commit(e, u);
+                *q = (*q + u * T).max(0.0);
+            }
+            last
+        };
+        let y = run_to(1.0, 30, &mut ctrl, &mut q);
+        assert!((y - 1.0).abs() < 0.1, "after first target: {y}");
+        let y = run_to(3.0, 30, &mut ctrl, &mut q);
+        assert!((y - 3.0).abs() < 0.2, "after second target: {y}");
+    }
+
+    #[test]
+    fn rejects_cost_disturbance() {
+        // Cost doubles mid-run; the loop must re-converge (Fig. 15's c
+        // peaks). We fold the changing cost into both plant and controller
+        // (the estimator tracks it).
+        let mut ctrl = FeedbackController::paper();
+        let mut q: f64 = 0.0;
+        let target = 2.0;
+        let mut ys = Vec::new();
+        for k in 0..80 {
+            let c = if k < 40 { C } else { 2.0 * C };
+            let y = (q + 1.0) * c / H;
+            ys.push(y);
+            let e = target - y;
+            let u = ctrl.compute(e, c, T, H);
+            ctrl.commit(e, u);
+            q = (q + u * T).max(0.0);
+        }
+        // Re-converged by 20 periods after the change.
+        for y in &ys[65..] {
+            assert!((y - target).abs() < 0.25, "post-disturbance {y}");
+        }
+    }
+
+    #[test]
+    fn anti_windup_limits_recovery_overshoot() {
+        // Saturate hard (actuator pinned at 0) for a long time, then
+        // release; with back-calculation the first free step must not be
+        // absurdly large.
+        let mut ctrl = FeedbackController::paper();
+        for _ in 0..50 {
+            let e = -10.0; // massive positive queue → negative error
+            let u = ctrl.compute(e, C, T, H);
+            // Actuator can at most stop admissions: applied u ≥ −fout,
+            // here modelled as −190 t/s.
+            let applied = u.max(-190.0);
+            ctrl.commit(e, applied);
+        }
+        let u_free = ctrl.compute(0.0, C, T, H);
+        assert!(
+            u_free.abs() < 2000.0,
+            "state must not have wound up: u = {u_free}"
+        );
+    }
+
+    #[test]
+    fn without_commit_state_is_stale() {
+        let mut a = FeedbackController::paper();
+        let mut b = FeedbackController::paper();
+        let u1a = a.compute(1.0, C, T, H);
+        let u1b = b.compute(1.0, C, T, H);
+        assert_eq!(u1a, u1b);
+        a.commit(1.0, u1a);
+        // `a` has history now; `b` does not: next outputs differ.
+        let u2a = a.compute(0.5, C, T, H);
+        let u2b = b.compute(0.5, C, T, H);
+        assert_ne!(u2a, u2b);
+    }
+
+    #[test]
+    fn alternative_designs_converge_too() {
+        for pole in [0.5, 0.8] {
+            let params = design_for_integrator(&DesignSpec::from_double_pole(pole));
+            let mut ctrl = FeedbackController::new(params);
+            let mut q: f64 = 0.0;
+            let mut y = 0.0;
+            for _ in 0..60 {
+                y = (q + 1.0) * C / H;
+                let e = 2.0 - y;
+                let u = ctrl.compute(e, C, T, H);
+                ctrl.commit(e, u);
+                q = (q + u * T).max(0.0);
+            }
+            assert!((y - 2.0).abs() < 0.2, "pole {pole}: settled {y}");
+        }
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut ctrl = FeedbackController::paper();
+        let u = ctrl.compute(1.0, C, T, H);
+        ctrl.commit(1.0, u);
+        ctrl.reset();
+        let u_after = ctrl.compute(1.0, C, T, H);
+        assert_eq!(u, u_after);
+    }
+}

@@ -1,0 +1,223 @@
+//! A scalar Kalman filter for tracking the per-tuple cost `c(k)`.
+//!
+//! The paper's conclusion suggests "combining stochastic methods such as
+//! Kalman Filters with our controller design". The cost evolves as a
+//! random walk (`c(k+1) = c(k) + w`, process noise `w`) and is observed
+//! each period through a noisy per-period measurement (`m = c + v`).
+//!
+//! At steady state a scalar random-walk Kalman filter converges to a
+//! fixed gain — i.e. it *is* an optimally tuned EWMA. Its advantage is
+//! what happens off steady state: when measurements go missing (idle
+//! periods with no completions — common exactly when load is about to
+//! surge), the posterior variance grows, the gain rises, and the filter
+//! re-acquires from the next measurements much faster than an EWMA whose
+//! weight is fixed.
+
+use serde::{Deserialize, Serialize};
+
+/// Scalar random-walk Kalman filter over the cost, µs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KalmanCostEstimator {
+    estimate_us: f64,
+    variance: f64,
+    process_var: f64,
+    measurement_var: f64,
+}
+
+impl KalmanCostEstimator {
+    /// Creates a filter.
+    ///
+    /// * `prior_us` — initial cost estimate;
+    /// * `prior_var` — variance of that prior (µs²); large = trust the
+    ///   first measurements quickly;
+    /// * `process_var` — random-walk step variance per period (µs²);
+    /// * `measurement_var` — per-period measurement noise variance (µs²).
+    pub fn new(prior_us: f64, prior_var: f64, process_var: f64, measurement_var: f64) -> Self {
+        assert!(prior_us > 0.0 && prior_us.is_finite());
+        assert!(prior_var >= 0.0 && process_var >= 0.0 && measurement_var > 0.0);
+        Self {
+            estimate_us: prior_us,
+            variance: prior_var,
+            process_var,
+            measurement_var,
+        }
+    }
+
+    /// A sensible default tuning around a prior cost: the filter acquires
+    /// a 4× cost jump within a few periods yet smooths ±10% measurement
+    /// noise at steady state.
+    pub fn with_defaults(prior_us: f64) -> Self {
+        let scale = prior_us * prior_us;
+        Self::new(prior_us, scale, 0.01 * scale, 0.04 * scale)
+    }
+
+    /// Predict + update step; missing/invalid measurements advance the
+    /// prediction only (uncertainty grows). Returns the posterior
+    /// estimate, µs.
+    pub fn update(&mut self, measured_us: Option<f64>) -> f64 {
+        // Predict: random walk adds process variance.
+        self.variance += self.process_var;
+        if let Some(m) = measured_us {
+            if m.is_finite() && m > 0.0 {
+                let gain = self.variance / (self.variance + self.measurement_var);
+                self.estimate_us += gain * (m - self.estimate_us);
+                self.variance *= 1.0 - gain;
+            }
+        }
+        self.estimate_us
+    }
+
+    /// Current estimate, µs.
+    pub fn current_us(&self) -> f64 {
+        self.estimate_us
+    }
+
+    /// Current posterior variance, µs².
+    pub fn variance(&self) -> f64 {
+        self.variance
+    }
+
+    /// Current Kalman gain (what the next update would use).
+    pub fn gain(&self) -> f64 {
+        let v = self.variance + self.process_var;
+        v / (v + self.measurement_var)
+    }
+}
+
+/// A cost tracker: EWMA (the Borealis-statistics analogue) or Kalman
+/// (the paper's future-work item). Used by
+/// [`CtrlStrategy`](crate::strategy::CtrlStrategy).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CostTracker {
+    /// Exponentially weighted moving average.
+    Ewma(crate::estimator::CostEstimator),
+    /// Scalar Kalman filter.
+    Kalman(KalmanCostEstimator),
+}
+
+impl CostTracker {
+    /// Folds in a measurement and returns the current estimate, µs.
+    pub fn update(&mut self, measured_us: Option<f64>) -> f64 {
+        match self {
+            CostTracker::Ewma(e) => e.update(measured_us),
+            CostTracker::Kalman(k) => k.update(measured_us),
+        }
+    }
+
+    /// Current estimate, µs.
+    pub fn current_us(&self) -> f64 {
+        match self {
+            CostTracker::Ewma(e) => e.current_us(),
+            CostTracker::Kalman(k) => k.current_us(),
+        }
+    }
+}
+
+/// Which tracker a [`LoopConfig`](crate::loop_::LoopConfig) should build.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum CostTrackerKind {
+    /// EWMA with the config's smoothing factor (default).
+    #[default]
+    Ewma,
+    /// Kalman with [`KalmanCostEstimator::with_defaults`] tuning.
+    Kalman,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn converges_to_constant_truth() {
+        let mut k = KalmanCostEstimator::with_defaults(5000.0);
+        for _ in 0..60 {
+            k.update(Some(8000.0));
+        }
+        assert!((k.current_us() - 8000.0).abs() < 50.0);
+        // Gain shrinks as the filter converges.
+        assert!(k.gain() < 0.5);
+    }
+
+    #[test]
+    fn missing_measurements_grow_uncertainty() {
+        let mut k = KalmanCostEstimator::with_defaults(5000.0);
+        for _ in 0..20 {
+            k.update(Some(5000.0));
+        }
+        let settled_var = k.variance();
+        for _ in 0..20 {
+            k.update(None);
+        }
+        assert!(k.variance() > settled_var * 2.0);
+        assert_eq!(k.current_us(), k.update(None));
+    }
+
+    #[test]
+    fn rejects_garbage_measurements() {
+        let mut k = KalmanCostEstimator::with_defaults(5000.0);
+        k.update(Some(f64::NAN));
+        k.update(Some(-10.0));
+        k.update(Some(0.0));
+        assert_eq!(k.current_us(), 5000.0);
+    }
+
+    /// The headline property: after a gap of missing measurements the
+    /// grown variance raises the gain, so the filter re-acquires a cost
+    /// jump faster than an EWMA with the matched steady-state weight.
+    #[test]
+    fn reacquires_after_gap_faster_than_comparable_ewma() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut noisy = |truth: f64| truth * (1.0 + 0.1 * (rng.gen::<f64>() - 0.5));
+
+        let mut kalman = KalmanCostEstimator::with_defaults(5000.0);
+        // Settle the Kalman gain first.
+        for _ in 0..50 {
+            kalman.update(Some(noisy(5000.0)));
+        }
+        let settled_gain = kalman.gain();
+        let mut ewma = crate::estimator::CostEstimator::new(5000.0, settled_gain);
+        for _ in 0..20 {
+            let m = noisy(5000.0);
+            kalman.update(Some(m));
+            ewma.update(Some(m));
+        }
+        // A stall: 15 periods with nothing completing (no measurements),
+        // during which the true cost jumps 4×.
+        for _ in 0..15 {
+            kalman.update(None);
+            ewma.update(None);
+        }
+        assert!(kalman.gain() > settled_gain * 1.5, "gain must have grown");
+        let mut kalman_steps = None;
+        let mut ewma_steps = None;
+        for step in 0..60 {
+            let m = noisy(20_000.0);
+            let kv = kalman.update(Some(m));
+            let ev = ewma.update(Some(m));
+            if kalman_steps.is_none() && kv > 18_000.0 {
+                kalman_steps = Some(step);
+            }
+            if ewma_steps.is_none() && ev > 18_000.0 {
+                ewma_steps = Some(step);
+            }
+        }
+        let k_steps = kalman_steps.expect("kalman must acquire");
+        let e_steps = ewma_steps.unwrap_or(61);
+        assert!(
+            k_steps < e_steps,
+            "kalman {k_steps} steps vs ewma {e_steps}"
+        );
+    }
+
+    #[test]
+    fn tracker_enum_dispatch() {
+        let mut t = CostTracker::Kalman(KalmanCostEstimator::with_defaults(5000.0));
+        let v = t.update(Some(6000.0));
+        assert!(v > 5000.0 && v <= 6000.0);
+        assert_eq!(t.current_us(), v);
+        let mut e = CostTracker::Ewma(crate::estimator::CostEstimator::new(5000.0, 0.5));
+        assert_eq!(e.update(Some(6000.0)), 5500.0);
+    }
+}

@@ -1,0 +1,240 @@
+//! A simplified Load Shedding Roadmap (LSRM).
+//!
+//! The paper deliberately focuses on *when* and *how much* to shed and
+//! delegates *where* to Aurora's LSRM (\[26\]): a precomputed ranking of
+//! drop locations such that, for any required load reduction, the plan
+//! with minimal utility loss can be looked up instead of optimised
+//! online. This module provides that complement:
+//!
+//! * every operator input is a candidate drop location;
+//! * dropping one queued tuple before node `n` saves its expected
+//!   remaining CPU (`load(n)`, the network's downstream load) and loses
+//!   its expected contribution to query outputs (`yield(n)` — tuples
+//!   deeper in the network have survived more filters, so they are
+//!   *more* valuable);
+//! * locations are ranked by saved-load per lost-output; a plan for a
+//!   target `Ls` is a greedy prefix over that ranking, bounded by what
+//!   is actually queued at each location.
+
+use serde::{Deserialize, Serialize};
+use streamshed_engine::network::{NodeId, QueryNetwork};
+
+/// One candidate drop location.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Location {
+    /// Node index (drop happens in front of this operator).
+    pub node: usize,
+    /// Expected CPU saved per dropped tuple, µs.
+    pub load_saved_us: f64,
+    /// Expected query outputs lost per dropped tuple.
+    pub output_yield: f64,
+    /// Ranking key: µs of load saved per output lost.
+    pub ratio: f64,
+}
+
+/// The precomputed roadmap: locations sorted best-first.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Lsrm {
+    locations: Vec<Location>,
+}
+
+/// A concrete shedding plan: `(node index, tuples to drop)` plus its
+/// expected totals.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShedPlan {
+    /// Per-location drop counts.
+    pub drops: Vec<(usize, u64)>,
+    /// Total load the plan sheds, µs.
+    pub load_shed_us: f64,
+    /// Total expected query outputs lost.
+    pub utility_loss: f64,
+}
+
+impl Lsrm {
+    /// Precomputes the roadmap for a network.
+    pub fn build(net: &QueryNetwork) -> Self {
+        let mut locations: Vec<Location> = (0..net.len())
+            .map(|i| {
+                let id = NodeId::from_index(i);
+                let load = net.downstream_load_us(id);
+                let output_yield = net.output_yield(id);
+                Location {
+                    node: i,
+                    load_saved_us: load,
+                    output_yield,
+                    ratio: load / output_yield.max(1e-12),
+                }
+            })
+            .collect();
+        locations.sort_by(|a, b| {
+            b.ratio
+                .partial_cmp(&a.ratio)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        Self { locations }
+    }
+
+    /// The ranked locations, best first.
+    pub fn locations(&self) -> &[Location] {
+        &self.locations
+    }
+
+    /// Builds the minimal-utility plan that sheds at least `target_us`
+    /// of load, constrained by the tuples actually queued per node
+    /// (`available[node]`). Falls short only if the queues cannot supply
+    /// the target.
+    pub fn plan(&self, target_us: f64, available: &[u64]) -> ShedPlan {
+        let mut remaining = target_us;
+        let mut drops = Vec::new();
+        let mut load = 0.0;
+        let mut utility = 0.0;
+        for loc in &self.locations {
+            if remaining <= 0.0 {
+                break;
+            }
+            let have = available.get(loc.node).copied().unwrap_or(0);
+            if have == 0 || loc.load_saved_us <= 0.0 {
+                continue;
+            }
+            let need = (remaining / loc.load_saved_us).ceil() as u64;
+            let take = need.min(have);
+            if take == 0 {
+                continue;
+            }
+            drops.push((loc.node, take));
+            let shed = take as f64 * loc.load_saved_us;
+            load += shed;
+            utility += take as f64 * loc.output_yield;
+            remaining -= shed;
+        }
+        ShedPlan {
+            drops,
+            load_shed_us: load,
+            utility_loss: utility,
+        }
+    }
+}
+
+/// Expected query outputs per tuple entering each node — delegated to
+/// the network's own precomputed ranking input (see
+/// [`QueryNetwork::output_yield`]).
+#[cfg(test)]
+fn output_yields(net: &QueryNetwork) -> Vec<f64> {
+    (0..net.len())
+        .map(|i| net.output_yield(NodeId::from_index(i)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamshed_engine::network::NetworkBuilder;
+    use streamshed_engine::networks::identification_network;
+    use streamshed_engine::operator::{Filter, Map};
+    use streamshed_engine::time::millis;
+
+    /// entry filter (sel 0.5) → expensive map → sink
+    fn filtered_chain() -> QueryNetwork {
+        let mut b = NetworkBuilder::new();
+        let f = b.add("f", millis(1), Filter::value_below(0.5));
+        let m = b.add("m", millis(8), Map::identity());
+        b.connect(f, m);
+        b.entry(f);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn yields_grow_deeper_in_the_network() {
+        let net = filtered_chain();
+        let y = output_yields(&net);
+        // A tuple at the entry yields 0.5 outputs (half are filtered);
+        // one that reached the map yields 1.
+        assert!((y[0] - 0.5).abs() < 1e-12);
+        assert!((y[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entry_drop_ranks_best_on_filtered_chain() {
+        // Entry: saves 1 + 0.5·8 = 5 ms, loses 0.5 outputs → ratio 10.
+        // Mid:   saves 8 ms, loses 1 output → ratio 8.
+        let lsrm = Lsrm::build(&filtered_chain());
+        assert_eq!(lsrm.locations()[0].node, 0);
+        assert!(lsrm.locations()[0].ratio > lsrm.locations()[1].ratio);
+    }
+
+    #[test]
+    fn plan_meets_target_with_minimal_utility() {
+        let lsrm = Lsrm::build(&filtered_chain());
+        // Plenty queued everywhere; want 50 ms of load gone.
+        let plan = lsrm.plan(50_000.0, &[100, 100]);
+        assert!(plan.load_shed_us >= 50_000.0);
+        // All drops at the entry (10 tuples × 5 ms), utility 10·0.5 = 5.
+        assert_eq!(plan.drops, vec![(0, 10)]);
+        assert!((plan.utility_loss - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn plan_spills_to_next_location_when_queue_exhausted() {
+        let lsrm = Lsrm::build(&filtered_chain());
+        // Only 4 tuples at the entry (20 ms); need 50 ms → spill to mid.
+        let plan = lsrm.plan(50_000.0, &[4, 100]);
+        assert_eq!(plan.drops[0], (0, 4));
+        assert_eq!(plan.drops[1].0, 1);
+        assert!(plan.load_shed_us >= 50_000.0);
+    }
+
+    #[test]
+    fn plan_bounded_by_availability() {
+        let lsrm = Lsrm::build(&filtered_chain());
+        let plan = lsrm.plan(1e9, &[2, 3]);
+        let total: u64 = plan.drops.iter().map(|&(_, n)| n).sum();
+        assert_eq!(total, 5);
+        assert!(plan.load_shed_us < 1e9);
+    }
+
+    #[test]
+    fn lsrm_beats_random_location_choice_on_utility() {
+        // For the same shed load, the LSRM plan must lose no more utility
+        // than a "drop everywhere proportionally" plan.
+        let net = identification_network();
+        let lsrm = Lsrm::build(&net);
+        let available = vec![50u64; net.len()];
+        let target = 300_000.0;
+        let plan = lsrm.plan(target, &available);
+
+        // Proportional baseline achieving the same load.
+        let yields = output_yields(&net);
+        let mut base_load = 0.0;
+        let mut base_utility = 0.0;
+        'outer: loop {
+            for (i, y) in yields.iter().enumerate() {
+                let l = net.downstream_load_us(streamshed_engine::network::NodeId::from_index(i));
+                if l <= 0.0 {
+                    continue;
+                }
+                base_load += l;
+                base_utility += y;
+                if base_load >= target {
+                    break 'outer;
+                }
+            }
+        }
+        assert!(
+            plan.utility_loss <= base_utility + 1e-9,
+            "lsrm {} vs proportional {base_utility}",
+            plan.utility_loss
+        );
+    }
+
+    #[test]
+    fn roadmap_covers_every_node() {
+        let net = identification_network();
+        let lsrm = Lsrm::build(&net);
+        assert_eq!(lsrm.locations().len(), net.len());
+        // Ratios are sorted descending.
+        assert!(lsrm
+            .locations()
+            .windows(2)
+            .all(|w| w[0].ratio >= w[1].ratio));
+    }
+}

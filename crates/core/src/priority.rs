@@ -1,0 +1,207 @@
+//! Priority-aware load shedding across streams.
+//!
+//! The paper's conclusion proposes "heterogeneous quality guarantees for
+//! streams with different priorities". This module keeps the *same*
+//! feedback loop deciding the total admission budget — the dynamics and
+//! guarantees are untouched — and changes only the actuator: instead of
+//! one coin for everyone, the admission budget is allocated to streams in
+//! priority order (strict priority with optional weights), and per-entry
+//! drop probabilities realise the allocation.
+
+use crate::strategy::{CtrlStrategy, SheddingStrategy};
+use crate::loop_::{LoopConfig, SignalRow};
+use serde::{Deserialize, Serialize};
+use streamshed_engine::hook::{ControlHook, Decision, PeriodSnapshot};
+
+/// Relative importance of each entry stream (index-aligned with the
+/// network's entry list; higher weight = more protected).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamPriorities {
+    weights: Vec<f64>,
+}
+
+impl StreamPriorities {
+    /// Creates priorities from positive weights.
+    pub fn new(weights: Vec<f64>) -> Self {
+        assert!(!weights.is_empty(), "need at least one stream");
+        assert!(
+            weights.iter().all(|w| *w > 0.0 && w.is_finite()),
+            "weights must be positive"
+        );
+        Self { weights }
+    }
+
+    /// Number of streams.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// True if only one stream is configured.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Allocates a global keep fraction into per-stream keep fractions by
+    /// strict priority: the highest-weight streams are filled first;
+    /// equal weights share proportionally.
+    ///
+    /// `keep` is the overall fraction of arrivals that may be admitted
+    /// (`v/fin`, clamped to [0, 1]); streams are assumed to carry equal
+    /// arrival shares (the engine round-robins arrivals across entries).
+    /// Returns per-stream keep fractions in `[0, 1]`.
+    pub fn allocate_keep(&self, keep: f64) -> Vec<f64> {
+        let n = self.weights.len();
+        let keep = keep.clamp(0.0, 1.0);
+        // Total budget in "stream shares": each stream offers 1/n of the
+        // arrivals; budget = keep (fraction of the total).
+        let mut budget = keep * n as f64; // in units of one stream's input
+        let mut keeps = vec![0.0; n];
+        // Process strictly by descending weight; ties share evenly.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            self.weights[b]
+                .partial_cmp(&self.weights[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut i = 0;
+        while i < n && budget > 1e-12 {
+            // Group of equal-weight streams.
+            let w = self.weights[order[i]];
+            let mut j = i;
+            while j < n && (self.weights[order[j]] - w).abs() < 1e-12 {
+                j += 1;
+            }
+            let group = &order[i..j];
+            let per_stream = (budget / group.len() as f64).min(1.0);
+            for &s in group {
+                keeps[s] = per_stream;
+            }
+            budget -= per_stream * group.len() as f64;
+            i = j;
+        }
+        keeps
+    }
+
+    /// Converts per-stream keep fractions into drop probabilities.
+    pub fn drop_probs(&self, keep: f64) -> Vec<f64> {
+        self.allocate_keep(keep)
+            .into_iter()
+            .map(|k| (1.0 - k).clamp(0.0, 1.0))
+            .collect()
+    }
+}
+
+/// CTRL with priority-aware entry shedding.
+///
+/// Delegates all loop dynamics to an inner [`CtrlStrategy`] and rewrites
+/// its scalar `α` into per-entry probabilities that protect high-priority
+/// streams.
+#[derive(Debug, Clone)]
+pub struct PriorityCtrlStrategy {
+    inner: CtrlStrategy,
+    priorities: StreamPriorities,
+}
+
+impl PriorityCtrlStrategy {
+    /// Builds the strategy.
+    pub fn new(cfg: &LoopConfig, priorities: StreamPriorities) -> Self {
+        Self {
+            inner: CtrlStrategy::from_config(cfg),
+            priorities,
+        }
+    }
+
+    /// The configured priorities.
+    pub fn priorities(&self) -> &StreamPriorities {
+        &self.priorities
+    }
+}
+
+impl ControlHook for PriorityCtrlStrategy {
+    fn on_period(&mut self, snap: &PeriodSnapshot) -> Decision {
+        let decision = self.inner.on_period(snap);
+        if decision.shed_load_us > 0.0 {
+            // Network mode: location-based shedding is priority-agnostic
+            // here; pass through.
+            return decision;
+        }
+        let keep = 1.0 - decision.entry_drop_prob;
+        Decision::per_entry(self.priorities.drop_probs(keep))
+    }
+}
+
+impl SheddingStrategy for PriorityCtrlStrategy {
+    fn name(&self) -> &'static str {
+        "CTRL-PRIORITY"
+    }
+
+    fn signals(&self) -> &[SignalRow] {
+        self.inner.signals()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_fills_high_priority_first() {
+        let p = StreamPriorities::new(vec![1.0, 10.0, 5.0]);
+        // Budget for exactly one of three streams.
+        let keeps = p.allocate_keep(1.0 / 3.0);
+        assert!((keeps[1] - 1.0).abs() < 1e-9, "{keeps:?}");
+        assert!(keeps[2] < 1e-9);
+        assert!(keeps[0] < 1e-9);
+        // Budget for two streams: top two full.
+        let keeps = p.allocate_keep(2.0 / 3.0);
+        assert!((keeps[1] - 1.0).abs() < 1e-9);
+        assert!((keeps[2] - 1.0).abs() < 1e-9);
+        assert!(keeps[0] < 1e-9);
+    }
+
+    #[test]
+    fn equal_weights_share_evenly() {
+        let p = StreamPriorities::new(vec![1.0, 1.0]);
+        let keeps = p.allocate_keep(0.5);
+        assert!((keeps[0] - 0.5).abs() < 1e-9);
+        assert!((keeps[1] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_budget_splits_within_group() {
+        let p = StreamPriorities::new(vec![1.0, 5.0, 5.0]);
+        // 0.5 of total = 1.5 stream-shares: the two weight-5 streams get
+        // 0.75 each, the low-priority one gets nothing.
+        let keeps = p.allocate_keep(0.5);
+        assert!((keeps[1] - 0.75).abs() < 1e-9, "{keeps:?}");
+        assert!((keeps[2] - 0.75).abs() < 1e-9);
+        assert!(keeps[0] < 1e-9);
+    }
+
+    #[test]
+    fn keep_everything_and_nothing() {
+        let p = StreamPriorities::new(vec![2.0, 1.0]);
+        assert_eq!(p.allocate_keep(1.0), vec![1.0, 1.0]);
+        assert_eq!(p.allocate_keep(0.0), vec![0.0, 0.0]);
+        assert_eq!(p.drop_probs(1.0), vec![0.0, 0.0]);
+        assert_eq!(p.drop_probs(0.0), vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn total_admission_preserved() {
+        // Whatever the weights, the aggregate keep fraction matches the
+        // controller's budget.
+        let p = StreamPriorities::new(vec![3.0, 1.0, 2.0, 1.0]);
+        for &keep in &[0.0, 0.2, 0.37, 0.75, 1.0] {
+            let keeps = p.allocate_keep(keep);
+            let total: f64 = keeps.iter().sum::<f64>() / keeps.len() as f64;
+            assert!((total - keep).abs() < 1e-9, "keep {keep}: {keeps:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_weights() {
+        let _ = StreamPriorities::new(vec![1.0, 0.0]);
+    }
+}

@@ -1,0 +1,103 @@
+//! Time-varying processing-cost schedules.
+//!
+//! The paper's Fig. 14 drives experiments with a per-tuple cost that
+//! varies over time (operator selectivity drift, query add/remove). The
+//! engine models this as a piecewise-constant *multiplier* applied to
+//! every operator's base cost.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A piecewise-constant cost multiplier over simulated time.
+///
+/// The multiplier at time `t` is the value of the last point at or before
+/// `t`; before the first point it is 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostSchedule {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl CostSchedule {
+    /// A constant multiplier of 1 (costs never change).
+    pub fn constant() -> Self {
+        Self { points: Vec::new() }
+    }
+
+    /// A constant multiplier of `m`.
+    pub fn constant_multiplier(m: f64) -> Self {
+        assert!(m > 0.0 && m.is_finite());
+        Self {
+            points: vec![(SimTime::ZERO, m)],
+        }
+    }
+
+    /// Builds a schedule from `(time, multiplier)` breakpoints. Points are
+    /// sorted by time; multipliers must be positive and finite.
+    pub fn from_points(mut points: Vec<(SimTime, f64)>) -> Self {
+        assert!(
+            points.iter().all(|&(_, m)| m > 0.0 && m.is_finite()),
+            "multipliers must be positive and finite"
+        );
+        points.sort_by_key(|&(t, _)| t);
+        Self { points }
+    }
+
+    /// The multiplier in effect at `t`.
+    pub fn multiplier(&self, t: SimTime) -> f64 {
+        match self.points.binary_search_by_key(&t, |&(pt, _)| pt) {
+            Ok(i) => self.points[i].1,
+            Err(0) => 1.0,
+            Err(i) => self.points[i - 1].1,
+        }
+    }
+
+    /// Number of breakpoints.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if the schedule is the constant-1 schedule.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+impl Default for CostSchedule {
+    fn default() -> Self {
+        Self::constant()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::secs;
+
+    #[test]
+    fn constant_is_one_everywhere() {
+        let s = CostSchedule::constant();
+        assert_eq!(s.multiplier(SimTime::ZERO), 1.0);
+        assert_eq!(s.multiplier(SimTime(u64::MAX)), 1.0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn piecewise_lookup() {
+        let s = CostSchedule::from_points(vec![
+            (SimTime::ZERO + secs(10), 2.0),
+            (SimTime::ZERO + secs(5), 1.5),
+        ]);
+        assert_eq!(s.multiplier(SimTime::ZERO), 1.0); // before first point
+        assert_eq!(s.multiplier(SimTime::ZERO + secs(5)), 1.5); // exact hit
+        assert_eq!(s.multiplier(SimTime::ZERO + secs(7)), 1.5);
+        assert_eq!(s.multiplier(SimTime::ZERO + secs(10)), 2.0);
+        assert_eq!(s.multiplier(SimTime::ZERO + secs(100)), 2.0);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_multiplier() {
+        let _ = CostSchedule::from_points(vec![(SimTime::ZERO, 0.0)]);
+    }
+}

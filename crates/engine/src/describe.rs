@@ -1,0 +1,103 @@
+//! Network introspection: Graphviz DOT export and a text summary —
+//! the "Fig. 2 view" of any query network.
+
+use crate::network::QueryNetwork;
+use std::fmt::Write as _;
+
+/// Renders the network as a Graphviz `digraph` (entry operators drawn as
+/// doubled ellipses, per-node cost and expected downstream load in the
+/// label).
+pub fn to_dot(net: &QueryNetwork) -> String {
+    let mut out = String::from("digraph query_network {\n  rankdir=LR;\n");
+    for (i, node) in net.nodes().iter().enumerate() {
+        let shape = if node.is_entry {
+            "doublecircle"
+        } else {
+            "ellipse"
+        };
+        let _ = writeln!(
+            out,
+            "  op{i} [shape={shape}, label=\"{}\\n{}\\n{:.0}µs (load {:.0}µs)\"];",
+            node.name,
+            node.logic.kind(),
+            node.cost.as_micros(),
+            net.downstream_load_us(crate::network::NodeId(i)),
+        );
+    }
+    for (i, node) in net.nodes().iter().enumerate() {
+        for (branch, targets) in node.outputs.iter().enumerate() {
+            for edge in targets {
+                let label = if node.outputs.len() > 1 {
+                    format!(" [label=\"b{branch}→p{}\"]", edge.port)
+                } else if edge.port > 0 {
+                    format!(" [label=\"p{}\"]", edge.port)
+                } else {
+                    String::new()
+                };
+                let _ = writeln!(out, "  op{i} -> op{}{};", edge.node.index(), label);
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// A one-line-per-operator text summary.
+pub fn describe(net: &QueryNetwork) -> String {
+    let mut out = format!(
+        "query network: {} operators, {} entries, expected cost {:.0} µs/tuple\n",
+        net.len(),
+        net.entries().len(),
+        net.expected_cost_per_tuple_us()
+    );
+    for (i, node) in net.nodes().iter().enumerate() {
+        let outputs: Vec<String> = node
+            .outputs
+            .iter()
+            .flat_map(|branch| branch.iter())
+            .map(|e| format!("op{}", e.node.index()))
+            .collect();
+        let _ = writeln!(
+            out,
+            "  op{i} {:<12} {:<14} cost {:>6.0} µs  sel {:>4.2}  → [{}]{}",
+            node.name,
+            node.logic.kind(),
+            node.cost.as_micros(),
+            node.logic.expected_selectivity(),
+            outputs.join(", "),
+            if node.is_entry { "  (entry)" } else { "" },
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::networks::identification_network;
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let net = identification_network();
+        let dot = to_dot(&net);
+        assert!(dot.starts_with("digraph"));
+        for i in 0..net.len() {
+            assert!(dot.contains(&format!("op{i} [")), "node op{i} missing");
+        }
+        // Entries drawn differently.
+        assert_eq!(dot.matches("doublecircle").count(), 3);
+        // Split edges are branch-labelled.
+        assert!(dot.contains("b0→p0") || dot.contains("b1→p0"));
+    }
+
+    #[test]
+    fn describe_lists_every_operator() {
+        let net = identification_network();
+        let text = describe(&net);
+        assert!(text.contains("14 operators"));
+        assert!(text.contains("(entry)"));
+        assert!(text.lines().count() >= 15);
+        assert!(text.contains("split"));
+        assert!(text.contains("union"));
+    }
+}

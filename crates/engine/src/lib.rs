@@ -1,0 +1,47 @@
+//! # streamshed-engine
+//!
+//! A Borealis-like stream query engine, built as the substrate for the
+//! control-based load-shedding framework of Tu et al. (VLDB 2006).
+//!
+//! The engine provides exactly the properties the paper's DSMS model
+//! relies on (§3–4.2):
+//!
+//! * a **query network**: a DAG of operators (filter, map, union,
+//!   sliding-window join, windowed aggregate, split) with per-operator
+//!   FIFO queues and per-operator CPU costs;
+//! * a **round-robin scheduler** with no tuple priorities;
+//! * a CPU-bound execution model with a **headroom factor** `H` (fraction
+//!   of CPU available to query processing);
+//! * per-tuple **processing delay** measurement from network-buffer
+//!   arrival to departure (longest path, as the paper specifies);
+//! * a **virtual queue** of outstanding tuples (`q(k)`), the quantity the
+//!   paper's controller actually manipulates;
+//! * a per-period [`hook::ControlHook`] where a load-shedding strategy
+//!   observes the system and actuates (entry coin-flip shedding and/or
+//!   in-network load shedding from random queue locations).
+//!
+//! Two runners are provided: the deterministic virtual-time
+//! [`sim::Simulator`] used by all experiments, and a real-time threaded
+//! runner in [`rt`] demonstrating the same loop against the wall clock.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod cost;
+pub mod describe;
+pub mod hook;
+pub mod metrics;
+pub mod network;
+pub mod networks;
+pub mod operator;
+pub mod rt;
+pub mod sim;
+pub mod time;
+pub mod tuple;
+
+pub use hook::{ControlHook, Decision, NoShedding, PeriodSnapshot};
+pub use metrics::{DelayStats, RunReport};
+pub use network::{NetworkBuilder, NodeId, QueryNetwork};
+pub use sim::{SimConfig, Simulator};
+pub use time::{micros, millis, millis_f64, secs, secs_f64, SimDuration, SimTime};
+pub use tuple::{RootId, Tuple};

@@ -1,0 +1,196 @@
+//! Pre-built query networks.
+//!
+//! [`identification_network`] mirrors the paper's system-identification
+//! setup (§4.2): 14 operators with fixed CPU costs, filter selectivities
+//! pinned by uniform input values, branched like Fig. 2. Its expected
+//! cost per admitted tuple is calibrated so that the processing capacity
+//! is **190 tuples/s** at headroom `H = 0.97` — the knee the paper
+//! observes in Fig. 5.
+
+use crate::network::{NetworkBuilder, QueryNetwork};
+use crate::operator::{Aggregate, AggFunc, Filter, Map, Split, Union, WindowJoin, WindowSpec};
+use crate::time::{micros, secs_f64, SimDuration};
+
+/// The paper's step-response knee: tuples/second the calibrated
+/// identification network can sustain at `H = 0.97`.
+pub const IDENTIFICATION_CAPACITY_TPS: f64 = 190.0;
+
+/// Headroom the calibration assumes.
+pub const IDENTIFICATION_HEADROOM: f64 = 0.97;
+
+/// Expected CPU cost per admitted tuple of the identification network, µs
+/// (`H / capacity`).
+pub fn identification_cost_us() -> f64 {
+    IDENTIFICATION_HEADROOM / IDENTIFICATION_CAPACITY_TPS * 1e6
+}
+
+fn build_identification(scale: f64) -> QueryNetwork {
+    let c = |us: f64| secs_f64(us * scale / 1e6);
+    let mut b = NetworkBuilder::new();
+
+    // Three source streams, as in Fig. 2 (S1..S3).
+    let f1 = b.add("f1", c(250.0), Filter::value_below(0.9));
+    let f2 = b.add("f2", c(250.0), Filter::value_below(0.9));
+    let f3 = b.add("f3", c(250.0), Filter::value_below(0.9));
+    let m1 = b.add("m1", c(400.0), Map::identity());
+    let m2 = b.add("m2", c(400.0), Map::identity());
+    let m3 = b.add("m3", c(400.0), Map::identity());
+    let sp = b.add("split", c(200.0), Split::value_below(0.5));
+    let m4 = b.add("m4", c(500.0), Map::identity());
+    let m5 = b.add("m5", c(500.0), Map::identity());
+    let m6 = b.add("m6", c(400.0), Map::identity());
+    let u1 = b.add("u1", c(150.0), Union);
+    let u2 = b.add("u2", c(150.0), Union);
+    let m7 = b.add("m7", c(450.0), Map::identity());
+    let m8 = b.add("m8", c(450.0), Map::identity());
+
+    b.entry(f1);
+    b.entry(f2);
+    b.entry(f3);
+
+    // Path I: S1 → f1 → m1 → m2 → u1
+    b.connect(f1, m1);
+    b.connect(m1, m2);
+    b.connect_port(m2, 0, u1, 0);
+    // Path II: S2 → f2 → m3 → split → {m4 → u1 | m5 → sink}
+    b.connect(f2, m3);
+    b.connect(m3, sp);
+    b.connect_port(sp, 0, m4, 0);
+    b.connect_port(sp, 1, m5, 0);
+    b.connect_port(m4, 0, u1, 1);
+    // Path III: S3 → f3 → m6 → u2 ; u1 → u2 ; u2 → m7 → m8 → sink
+    b.connect(f3, m6);
+    b.connect_port(m6, 0, u2, 0);
+    b.connect_port(u1, 0, u2, 1);
+    b.connect(u2, m7);
+    b.connect(m7, m8);
+
+    b.build().expect("identification network is a valid DAG")
+}
+
+/// The 14-operator identification network, calibrated to a capacity of
+/// [`IDENTIFICATION_CAPACITY_TPS`] tuples/s at headroom 0.97.
+pub fn identification_network() -> QueryNetwork {
+    // Two-pass calibration: measure the expected cost at unit scale, then
+    // rescale all operator costs to hit the target mean per-tuple cost.
+    let probe = build_identification(1.0);
+    let unit_cost = probe.expected_cost_per_tuple_us();
+    let target = identification_cost_us();
+    build_identification(target / unit_cost)
+}
+
+/// A linear chain of `n` identical map operators whose *total* cost per
+/// tuple is `total_cost` — the simplest constant-cost plant, handy for
+/// unit-level control experiments.
+pub fn uniform_chain(n: usize, total_cost: SimDuration) -> QueryNetwork {
+    assert!(n >= 1);
+    let per_op = micros((total_cost.as_micros() / n as u64).max(1));
+    let mut b = NetworkBuilder::new();
+    let mut prev = None;
+    for i in 0..n {
+        let node = b.add(format!("m{i}"), per_op, Map::identity());
+        match prev {
+            None => {
+                b.entry(node);
+            }
+            Some(p) => {
+                b.connect(p, node);
+            }
+        }
+        prev = Some(node);
+    }
+    b.build().expect("chain is a valid DAG")
+}
+
+/// A richer network exercising the stateful operators: two streams joined
+/// over a sliding window, with a windowed aggregate and alert filter
+/// downstream. Used by the examples and stateful-operator tests.
+pub fn monitoring_network() -> QueryNetwork {
+    let mut b = NetworkBuilder::new();
+    let src_a = b.add("sensor-a", micros(200), Filter::value_below(0.95));
+    let src_b = b.add("sensor-b", micros(200), Filter::value_below(0.95));
+    let join = b.add(
+        "correlate",
+        micros(600),
+        WindowJoin::new(WindowSpec::Time(secs_f64(0.5)), 0.5),
+    );
+    let agg = b.add("window-avg", micros(300), Aggregate::new(5, AggFunc::Avg));
+    let alert = b.add("alert", micros(150), Filter::value_below(0.8));
+
+    b.entry(src_a);
+    b.entry(src_b);
+    b.connect_port(src_a, 0, join, 0);
+    b.connect_port(src_b, 0, join, 1);
+    b.connect(join, agg);
+    b.connect(agg, alert);
+    b.build().expect("monitoring network is a valid DAG")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hook::NoShedding;
+    use crate::sim::{SimConfig, Simulator};
+    use crate::time::{secs, SimTime};
+
+    #[test]
+    fn identification_network_has_fourteen_operators() {
+        let net = identification_network();
+        assert_eq!(net.len(), 14);
+        assert_eq!(net.entries().len(), 3);
+    }
+
+    #[test]
+    fn identification_network_calibrated_cost() {
+        let net = identification_network();
+        let c = net.expected_cost_per_tuple_us();
+        let want = identification_cost_us(); // ≈ 5105 µs
+        assert!(
+            (c - want).abs() / want < 0.01,
+            "expected ≈{want:.0}µs, got {c:.0}µs"
+        );
+    }
+
+    #[test]
+    fn identification_network_knee_near_190() {
+        // Below the knee: no queue build-up; above: linear growth.
+        let run = |rate: f64| {
+            let net = identification_network();
+            let sim = Simulator::new(net, SimConfig::paper_default());
+            let gap = 1e6 / rate;
+            let arrivals: Vec<SimTime> = (0..(rate * 30.0) as u64)
+                .map(|i| SimTime((i as f64 * gap) as u64))
+                .collect();
+            sim.run(&arrivals, &mut NoShedding, secs(30))
+        };
+        let below = run(170.0);
+        let above = run(230.0);
+        assert!(
+            below.periods.last().unwrap().outstanding < 30,
+            "outstanding below knee: {}",
+            below.periods.last().unwrap().outstanding
+        );
+        assert!(
+            above.periods.last().unwrap().outstanding > 300,
+            "outstanding above knee: {}",
+            above.periods.last().unwrap().outstanding
+        );
+    }
+
+    #[test]
+    fn uniform_chain_cost_splits_evenly() {
+        let net = uniform_chain(4, micros(4000));
+        assert_eq!(net.len(), 4);
+        assert!((net.expected_cost_per_tuple_us() - 4000.0).abs() < 4.0);
+    }
+
+    #[test]
+    fn monitoring_network_produces_joins() {
+        let net = monitoring_network();
+        let sim = Simulator::new(net, SimConfig::paper_default().with_seed(7));
+        let arrivals: Vec<SimTime> = (0..2000).map(|i| SimTime(i * 2_000)).collect();
+        let report = sim.run(&arrivals, &mut NoShedding, secs(5));
+        assert!(report.completed > 0);
+        assert_eq!(report.offered, 2000);
+    }
+}

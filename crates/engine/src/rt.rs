@@ -1,0 +1,447 @@
+//! A real-time (wall-clock) runner.
+//!
+//! The paper's evaluation runs on the real Borealis engine; the virtual
+//! time [`Simulator`](crate::sim::Simulator) replaces it for
+//! reproducibility. This module demonstrates that the same control loop
+//! drives a *real* threaded pipeline: a worker thread consumes tuples from
+//! a queue, spending a configurable CPU time per tuple, while a controller
+//! thread samples the queue every control period and actuates shedding
+//! through the identical [`ControlHook`] interface.
+//!
+//! The runner models a single logical operator path (the aggregate plant
+//! `G(z) = cT/(H(z−1))` — per the paper's §4.2, path structure only
+//! changes the constant `c`), so it is intentionally simpler than the
+//! simulator's full DAG.
+
+use crate::hook::{ControlHook, PeriodSnapshot};
+use crate::time::{SimDuration, SimTime};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Configuration of the real-time runner.
+#[derive(Debug, Clone)]
+pub struct RtConfig {
+    /// CPU time consumed per tuple.
+    pub cost: Duration,
+    /// Control period.
+    pub period: Duration,
+    /// Delay target for violation accounting.
+    pub target_delay: Duration,
+    /// Headroom: the worker inflates the per-tuple service time by `1/H`.
+    pub headroom: f64,
+}
+
+impl RtConfig {
+    /// A fast demo configuration: 2 ms tuples, 100 ms period, 200 ms
+    /// target.
+    pub fn demo() -> Self {
+        Self {
+            cost: Duration::from_millis(2),
+            period: Duration::from_millis(100),
+            target_delay: Duration::from_millis(200),
+            headroom: 0.97,
+        }
+    }
+}
+
+struct Shared {
+    // f64 bit patterns; Ordering::Relaxed is fine for control signals.
+    alpha_bits: AtomicU64,
+    shed_budget: AtomicU64,
+    queue_len: AtomicU64,
+    offered: AtomicU64,
+    dropped_entry: AtomicU64,
+    dropped_shed: AtomicU64,
+    completed: AtomicU64,
+    delay_sum_us: AtomicU64,
+    delay_max_us: AtomicU64,
+    delayed: AtomicU64,
+    violation_sum_us: AtomicU64,
+    stop: AtomicBool,
+    hook_log: Mutex<Vec<PeriodSnapshot>>,
+}
+
+impl Shared {
+    fn new() -> Self {
+        Self {
+            alpha_bits: AtomicU64::new(0.0f64.to_bits()),
+            shed_budget: AtomicU64::new(0),
+            queue_len: AtomicU64::new(0),
+            offered: AtomicU64::new(0),
+            dropped_entry: AtomicU64::new(0),
+            dropped_shed: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            delay_sum_us: AtomicU64::new(0),
+            delay_max_us: AtomicU64::new(0),
+            delayed: AtomicU64::new(0),
+            violation_sum_us: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+            hook_log: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn alpha(&self) -> f64 {
+        f64::from_bits(self.alpha_bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Final report of a real-time run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RtReport {
+    /// Tuples offered to the engine.
+    pub offered: u64,
+    /// Tuples dropped by the entry shedder.
+    pub dropped_entry: u64,
+    /// Tuples dropped by in-queue shedding.
+    pub dropped_shed: u64,
+    /// Tuples fully processed.
+    pub completed: u64,
+    /// Mean delay of completed tuples, ms.
+    pub mean_delay_ms: f64,
+    /// Maximum delay, ms.
+    pub max_delay_ms: f64,
+    /// Completed tuples whose delay exceeded the target.
+    pub delayed_tuples: u64,
+    /// Σ (delay − target)⁺ over completed tuples, ms.
+    pub accumulated_violation_ms: f64,
+    /// Snapshots the controller saw, for post-hoc inspection.
+    pub snapshots: Vec<PeriodSnapshot>,
+}
+
+impl RtReport {
+    /// Data loss ratio across both shedders.
+    pub fn loss_ratio(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            (self.dropped_entry + self.dropped_shed) as f64 / self.offered as f64
+        }
+    }
+}
+
+/// Handle for feeding tuples into a running real-time engine.
+pub struct RtEngine {
+    shared: Arc<Shared>,
+    tx: Option<Sender<Instant>>,
+    worker: Option<JoinHandle<()>>,
+    controller: Option<JoinHandle<()>>,
+    cfg: RtConfig,
+    // Entry-shedding coin flips: cheap xorshift; statistical shedding only
+    // needs approximate uniformity.
+    coin_state: AtomicU64,
+}
+
+impl RtEngine {
+    /// Spawns the worker and controller threads.
+    pub fn spawn<H>(cfg: RtConfig, mut hook: H) -> Self
+    where
+        H: ControlHook + Send + 'static,
+    {
+        assert!(cfg.headroom > 0.0 && cfg.headroom <= 1.0);
+        let shared = Arc::new(Shared::new());
+        let (tx, rx): (Sender<Instant>, Receiver<Instant>) = unbounded();
+
+        let worker = {
+            let shared = Arc::clone(&shared);
+            let cfg = cfg.clone();
+            std::thread::spawn(move || {
+                let service = cfg.cost.mul_f64(1.0 / cfg.headroom);
+                let target_us = cfg.target_delay.as_micros() as u64;
+                while let Ok(enqueued) = rx.recv() {
+                    shared.queue_len.fetch_sub(1, Ordering::Relaxed);
+                    // In-queue shedding: consume budget instead of work.
+                    let mut budget = shared.shed_budget.load(Ordering::Relaxed);
+                    let mut shed = false;
+                    while budget > 0 {
+                        match shared.shed_budget.compare_exchange_weak(
+                            budget,
+                            budget - 1,
+                            Ordering::Relaxed,
+                            Ordering::Relaxed,
+                        ) {
+                            Ok(_) => {
+                                shed = true;
+                                break;
+                            }
+                            Err(b) => budget = b,
+                        }
+                    }
+                    if shed {
+                        shared.dropped_shed.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    std::thread::sleep(service);
+                    let delay_us = enqueued.elapsed().as_micros() as u64;
+                    shared.completed.fetch_add(1, Ordering::Relaxed);
+                    shared.delay_sum_us.fetch_add(delay_us, Ordering::Relaxed);
+                    shared.delay_max_us.fetch_max(delay_us, Ordering::Relaxed);
+                    if delay_us > target_us {
+                        shared.delayed.fetch_add(1, Ordering::Relaxed);
+                        shared
+                            .violation_sum_us
+                            .fetch_add(delay_us - target_us, Ordering::Relaxed);
+                    }
+                }
+            })
+        };
+
+        let controller = {
+            let shared = Arc::clone(&shared);
+            let cfg = cfg.clone();
+            std::thread::spawn(move || {
+                let start = Instant::now();
+                let mut k = 0u64;
+                let mut last = Counters::default();
+                while !shared.stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(cfg.period);
+                    let now = Counters::read(&shared);
+                    let delta = now.minus(&last);
+                    last = now;
+                    let period = SimDuration(cfg.period.as_micros() as u64);
+                    let completed = delta.completed;
+                    let snapshot = PeriodSnapshot {
+                        k,
+                        now: SimTime(start.elapsed().as_micros() as u64),
+                        period,
+                        offered: delta.offered,
+                        admitted: delta.offered - delta.dropped_entry,
+                        dropped_entry: delta.dropped_entry,
+                        dropped_network: delta.dropped_shed,
+                        completed,
+                        outstanding: shared.queue_len.load(Ordering::Relaxed),
+                        queued_tuples: shared.queue_len.load(Ordering::Relaxed),
+                        queued_load_us: shared.queue_len.load(Ordering::Relaxed) as f64
+                            * cfg.cost.as_micros() as f64,
+                        measured_cost_us: Some(cfg.cost.as_micros() as f64),
+                        mean_delay_ms: if completed > 0 {
+                            Some(delta.delay_sum_us as f64 / completed as f64 / 1e3)
+                        } else {
+                            None
+                        },
+                        cpu_busy_us: completed * cfg.cost.as_micros() as u64,
+                    };
+                    let decision = hook.on_period(&snapshot);
+                    shared.hook_log.lock().push(snapshot);
+                    shared.alpha_bits.store(
+                        decision.entry_drop_prob.clamp(0.0, 1.0).to_bits(),
+                        Ordering::Relaxed,
+                    );
+                    if decision.shed_load_us > 0.0 {
+                        let tuples =
+                            (decision.shed_load_us / cfg.cost.as_micros() as f64).ceil() as u64;
+                        shared.shed_budget.fetch_add(tuples, Ordering::Relaxed);
+                    }
+                    k += 1;
+                }
+            })
+        };
+
+        Self {
+            shared,
+            tx: Some(tx),
+            worker: Some(worker),
+            controller: Some(controller),
+            cfg,
+            coin_state: AtomicU64::new(0x9E3779B97F4A7C15),
+        }
+    }
+
+    /// Offers one tuple. Returns `false` if the entry shedder dropped it.
+    pub fn offer(&self) -> bool {
+        self.shared.offered.fetch_add(1, Ordering::Relaxed);
+        let alpha = self.shared.alpha();
+        if alpha > 0.0 && self.coin_flip() < alpha {
+            self.shared.dropped_entry.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        self.shared.queue_len.fetch_add(1, Ordering::Relaxed);
+        if let Some(tx) = &self.tx {
+            tx.send(Instant::now()).expect("worker alive while engine held");
+        }
+        true
+    }
+
+    /// Current queue length (outstanding tuples).
+    pub fn queue_len(&self) -> u64 {
+        self.shared.queue_len.load(Ordering::Relaxed)
+    }
+
+    /// Stops the engine, joins both threads, and returns the final report.
+    pub fn shutdown(mut self) -> RtReport {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        drop(self.tx.take()); // closes the channel; worker drains and exits
+        if let Some(w) = self.worker.take() {
+            let _ = w.join();
+        }
+        if let Some(c) = self.controller.take() {
+            let _ = c.join();
+        }
+        let s = &self.shared;
+        let completed = s.completed.load(Ordering::Relaxed);
+        let delay_sum = s.delay_sum_us.load(Ordering::Relaxed);
+        RtReport {
+            offered: s.offered.load(Ordering::Relaxed),
+            dropped_entry: s.dropped_entry.load(Ordering::Relaxed),
+            dropped_shed: s.dropped_shed.load(Ordering::Relaxed),
+            completed,
+            mean_delay_ms: if completed > 0 {
+                delay_sum as f64 / completed as f64 / 1e3
+            } else {
+                0.0
+            },
+            max_delay_ms: s.delay_max_us.load(Ordering::Relaxed) as f64 / 1e3,
+            delayed_tuples: s.delayed.load(Ordering::Relaxed),
+            accumulated_violation_ms: s.violation_sum_us.load(Ordering::Relaxed) as f64 / 1e3,
+            snapshots: std::mem::take(&mut *s.hook_log.lock()),
+        }
+    }
+
+    /// The runner's configuration.
+    pub fn config(&self) -> &RtConfig {
+        &self.cfg
+    }
+
+    fn coin_flip(&self) -> f64 {
+        // xorshift64*; uniform enough for statistical shedding.
+        let mut x = self.coin_state.load(Ordering::Relaxed);
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.coin_state.store(x, Ordering::Relaxed);
+        (x.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Drop for RtEngine {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        drop(self.tx.take());
+        if let Some(w) = self.worker.take() {
+            let _ = w.join();
+        }
+        if let Some(c) = self.controller.take() {
+            let _ = c.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hook::{Decision, NoShedding};
+
+    #[test]
+    fn underload_completes_everything() {
+        let cfg = RtConfig {
+            cost: Duration::from_micros(200),
+            period: Duration::from_millis(20),
+            target_delay: Duration::from_millis(100),
+            headroom: 1.0,
+        };
+        let engine = RtEngine::spawn(cfg, NoShedding);
+        for _ in 0..200 {
+            engine.offer();
+            std::thread::sleep(Duration::from_micros(500));
+        }
+        std::thread::sleep(Duration::from_millis(100));
+        let report = engine.shutdown();
+        assert_eq!(report.offered, 200);
+        assert_eq!(report.completed, 200);
+        assert_eq!(report.loss_ratio(), 0.0);
+        assert!(report.mean_delay_ms < 50.0, "{}", report.mean_delay_ms);
+    }
+
+    #[test]
+    fn entry_shedding_engages() {
+        let cfg = RtConfig {
+            cost: Duration::from_micros(500),
+            period: Duration::from_millis(10),
+            target_delay: Duration::from_millis(20),
+            headroom: 1.0,
+        };
+        // Fixed 50% shedding from the first period on.
+        let hook = |_s: &PeriodSnapshot| Decision::entry(0.5);
+        let engine = RtEngine::spawn(cfg, hook);
+        std::thread::sleep(Duration::from_millis(25)); // let alpha take effect
+        for _ in 0..400 {
+            engine.offer();
+            std::thread::sleep(Duration::from_micros(100));
+        }
+        let report = engine.shutdown();
+        let ratio = report.dropped_entry as f64 / report.offered as f64;
+        assert!(ratio > 0.3 && ratio < 0.7, "ratio {ratio}");
+    }
+
+    #[test]
+    fn controller_sees_snapshots() {
+        let cfg = RtConfig {
+            cost: Duration::from_micros(100),
+            period: Duration::from_millis(10),
+            target_delay: Duration::from_millis(20),
+            headroom: 0.97,
+        };
+        let engine = RtEngine::spawn(cfg, NoShedding);
+        for _ in 0..50 {
+            engine.offer();
+        }
+        std::thread::sleep(Duration::from_millis(60));
+        let report = engine.shutdown();
+        assert!(report.snapshots.len() >= 3, "{}", report.snapshots.len());
+        let total_offered: u64 = report.snapshots.iter().map(|s| s.offered).sum();
+        assert!(total_offered <= 50);
+    }
+
+    #[test]
+    fn shed_budget_drops_queued_tuples() {
+        let cfg = RtConfig {
+            cost: Duration::from_millis(5),
+            period: Duration::from_millis(10),
+            target_delay: Duration::from_millis(20),
+            headroom: 1.0,
+        };
+        // Shed aggressively every period.
+        let hook = |_s: &PeriodSnapshot| Decision::network(50_000.0);
+        let engine = RtEngine::spawn(cfg, hook);
+        for _ in 0..100 {
+            engine.offer();
+        }
+        std::thread::sleep(Duration::from_millis(120));
+        let report = engine.shutdown();
+        assert!(report.dropped_shed > 0, "some tuples shed from queue");
+    }
+}
+
+#[derive(Default, Clone, Copy)]
+struct Counters {
+    offered: u64,
+    dropped_entry: u64,
+    dropped_shed: u64,
+    completed: u64,
+    delay_sum_us: u64,
+}
+
+impl Counters {
+    fn read(s: &Shared) -> Self {
+        Self {
+            offered: s.offered.load(Ordering::Relaxed),
+            dropped_entry: s.dropped_entry.load(Ordering::Relaxed),
+            dropped_shed: s.dropped_shed.load(Ordering::Relaxed),
+            completed: s.completed.load(Ordering::Relaxed),
+            delay_sum_us: s.delay_sum_us.load(Ordering::Relaxed),
+        }
+    }
+
+    fn minus(&self, other: &Counters) -> Counters {
+        Counters {
+            offered: self.offered - other.offered,
+            dropped_entry: self.dropped_entry - other.dropped_entry,
+            dropped_shed: self.dropped_shed - other.dropped_shed,
+            completed: self.completed - other.completed,
+            delay_sum_us: self.delay_sum_us - other.delay_sum_us,
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Regenerates every figure of the paper's evaluation.
+//!
+//! ```text
+//! reproduce [--out DIR] [--seed N] [fig5 fig6 ... | all]
+//! ```
+//!
+//! Writes `DIR/<fig>.csv` + `DIR/<fig>.json` for each figure and prints
+//! ASCII renderings with paper-vs-measured notes.
+
+use std::path::PathBuf;
+use streamshed_experiments as exp;
+
+fn main() {
+    let mut out_dir = PathBuf::from("results");
+    let mut seed = 7u64;
+    let mut wanted: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => {
+                out_dir = PathBuf::from(args.next().expect("--out needs a directory"));
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .expect("--seed needs a value")
+                    .parse()
+                    .expect("seed must be an integer");
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: reproduce [--out DIR] [--seed N] [fig5 fig6 fig7 fig8 fig12 \
+                     fig13 fig14 fig15 fig16 fig17 fig18 fig19 overhead ablations \
+                     extensions | all]"
+                );
+                return;
+            }
+            other => wanted.push(other.to_string()),
+        }
+    }
+    if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
+        wanted = vec![
+            "fig5".into(),
+            "fig6".into(),
+            "fig7".into(),
+            "fig8".into(),
+            "fig12".into(),
+            "fig13".into(),
+            "fig14".into(),
+            "fig15".into(),
+            "fig16".into(),
+            "fig17".into(),
+            "fig18".into(),
+            "fig19".into(),
+            "overhead".into(),
+            "ablations".into(),
+            "extensions".into(),
+        ];
+    }
+
+    for name in &wanted {
+        let start = std::time::Instant::now();
+        let fig = match name.as_str() {
+            "fig5" => exp::fig05::run(),
+            "fig6" => exp::fig06::run(),
+            "fig7" => exp::fig07::run(),
+            "fig8" => exp::fig08::run(),
+            "fig12" => exp::fig12::run(seed),
+            "fig13" => exp::fig13::run(seed),
+            "fig14" => exp::fig14::run(seed),
+            "fig15" => exp::fig15::run(seed),
+            "fig16" => exp::fig16::run(seed),
+            "fig17" => exp::fig17::run(seed),
+            "fig18" => exp::fig18::run(seed),
+            "fig19" => exp::fig19::run(seed),
+            "overhead" => exp::overhead::run(),
+            "ablations" => exp::ablations::run(seed),
+            "extensions" => exp::extensions::run(seed),
+            other => {
+                eprintln!("unknown figure '{other}', skipping");
+                continue;
+            }
+        };
+        println!("{}", fig.render());
+        println!("  [{name} regenerated in {:.1?}]\n", start.elapsed());
+        if let Err(e) = fig.write_into(&out_dir) {
+            eprintln!("failed to write {name} into {}: {e}", out_dir.display());
+        }
+    }
+    println!("results written to {}", out_dir.display());
+}

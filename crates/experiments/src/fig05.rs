@@ -1,0 +1,111 @@
+//! Figure 5: raw-engine responses to step inputs.
+//!
+//! The paper feeds the 14-operator identification network with rates
+//! {150, 190, 200, 300} tuples/s (jumping from a low rate at t = 10 s)
+//! and observes: (A) the input traces, (B) delays — flat below the
+//! ~190 t/s knee, ramping above it, and (C) Δy converging to a constant,
+//! evidencing the integrator model.
+
+use crate::{FigureResult, Series};
+use streamshed_engine::networks::identification_network;
+use streamshed_engine::sim::SimConfig;
+use streamshed_sysid::run_identification;
+use streamshed_workload::StepTrace;
+
+/// Step rates used by the paper.
+pub const RATES: [f64; 4] = [150.0, 190.0, 200.0, 300.0];
+
+/// Runs the Fig. 5 experiment: 50 s observation per rate.
+pub fn run() -> FigureResult {
+    let observe_s = 50;
+    let mut series = Vec::new();
+    let mut summary = Vec::new();
+    let mut notes = Vec::new();
+
+    for &rate in &RATES {
+        let trace = StepTrace::paper_step(rate);
+        let run = run_identification(
+            identification_network(),
+            &trace,
+            observe_s,
+            200,
+            SimConfig::paper_default(),
+        );
+        let ys: Vec<(f64, f64)> = run
+            .periods
+            .iter()
+            .map(|p| (p.k as f64, p.y_real_ms))
+            .collect();
+        series.push(Series::new(format!("y(fin={rate})"), ys));
+        let dys: Vec<(f64, f64)> = run
+            .delta_y_ms()
+            .iter()
+            .enumerate()
+            .map(|(k, &d)| (k as f64, d))
+            .collect();
+        series.push(Series::new(format!("dy(fin={rate})"), dys.clone()));
+
+        // Tail statistics for the summary.
+        let tail: Vec<f64> = run
+            .periods
+            .iter()
+            .skip(30)
+            .map(|p| p.y_real_ms)
+            .filter(|y| y.is_finite())
+            .collect();
+        let tail_mean = tail.iter().sum::<f64>() / tail.len().max(1) as f64;
+        summary.push((format!("mean_delay_ms_tail(fin={rate})"), tail_mean));
+        let dy_tail: Vec<f64> = dys[30..]
+            .iter()
+            .map(|&(_, d)| d)
+            .filter(|d| d.is_finite())
+            .collect();
+        let dy_mean = dy_tail.iter().sum::<f64>() / dy_tail.len().max(1) as f64;
+        summary.push((format!("delta_y_ms_tail(fin={rate})"), dy_mean));
+    }
+
+    notes.push(
+        "paper: delays flat below the 190 t/s knee; linear growth above; \
+         Δy converges to a constant (integrator dynamics)"
+            .into(),
+    );
+    FigureResult {
+        id: "fig05".into(),
+        title: "System responses to step inputs".into(),
+        x_label: "period k (s)".into(),
+        y_label: "avg delay (ms)".into(),
+        series,
+        summary,
+        notes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_paper() {
+        let fig = run();
+        let get = |name: &str| {
+            fig.summary
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|&(_, v)| v)
+                .unwrap()
+        };
+        // Below the knee: flat, small delay.
+        assert!(get("mean_delay_ms_tail(fin=150)") < 100.0);
+        // Far above the knee: seconds of delay, still growing.
+        assert!(get("mean_delay_ms_tail(fin=300)") > 5000.0);
+        // Δy converges to ≈ excess/capacity seconds per period:
+        // (300−190)/190 ≈ 0.58 s.
+        let dy300 = get("delta_y_ms_tail(fin=300)");
+        assert!(
+            (dy300 - 580.0).abs() < 150.0,
+            "Δy(300) = {dy300} ms/period"
+        );
+        // Near the knee, Δy is near zero.
+        assert!(get("delta_y_ms_tail(fin=150)").abs() < 30.0);
+    }
+}

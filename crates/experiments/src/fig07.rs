@@ -1,0 +1,84 @@
+//! Figure 7: model verification with sinusoidal inputs.
+//!
+//! Same comparison as Fig. 6 but with the arrival rate sweeping `[0, 400]`
+//! tuples/s sinusoidally over 200 s. The paper observes small periodic
+//! modeling errors — unmodelled dynamics the feedback loop will absorb.
+
+use crate::{FigureResult, Series};
+use streamshed_engine::networks::identification_network;
+use streamshed_engine::sim::SimConfig;
+use streamshed_sysid::{fit_headroom, model_error_s, predict_delays_s, run_identification};
+use streamshed_workload::SineTrace;
+
+/// Runs the Fig. 7 experiment.
+pub fn run() -> FigureResult {
+    let run = run_identification(
+        identification_network(),
+        &SineTrace::paper_sine(),
+        200,
+        120,
+        SimConfig::paper_default(),
+    );
+    let mut series = vec![Series::new(
+        "real",
+        run.periods
+            .iter()
+            .map(|p| (p.k as f64, p.y_real_ms / 1e3))
+            .collect(),
+    )];
+    let mut summary = Vec::new();
+    for &h in &crate::fig06::HEADROOMS {
+        let pred = predict_delays_s(&run, run.mean_cost_us, h);
+        series.push(Series::new(
+            format!("model(H={h})"),
+            pred.iter().enumerate().map(|(k, &y)| (k as f64, y)).collect(),
+        ));
+        let err = model_error_s(&run, run.mean_cost_us, h);
+        series.push(Series::new(
+            format!("error(H={h})"),
+            err.iter().enumerate().map(|(k, &e)| (k as f64, e)).collect(),
+        ));
+        summary.push((format!("rmse_s(H={h})"), streamshed_sysid::rmse(&err)));
+    }
+    let fit = fit_headroom(&run, run.mean_cost_us, &crate::fig06::HEADROOMS);
+    summary.push(("best_headroom".into(), fit.best_headroom));
+
+    // Peak real delay, to contextualise the error magnitude.
+    let peak = run
+        .y_series_s()
+        .iter()
+        .copied()
+        .filter(|y| y.is_finite())
+        .fold(0.0f64, f64::max);
+    summary.push(("peak_real_delay_s".into(), peak));
+
+    FigureResult {
+        id: "fig07".into(),
+        title: "Model verification with sinusoidal inputs".into(),
+        x_label: "period k (s)".into(),
+        y_label: "delay (s)".into(),
+        series,
+        summary,
+        notes: vec![
+            "paper: small periodic modeling errors; feedback absorbs them".into(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn periodic_overload_with_small_errors() {
+        let fig = run();
+        let get = |name: &str| fig.summary.iter().find(|(n, _)| n == name).unwrap().1;
+        let peak = get("peak_real_delay_s");
+        assert!(peak > 2.0, "sine must drive multi-second delays: {peak}");
+        let rmse = get("rmse_s(H=0.97)");
+        assert!(
+            rmse < peak * 0.25,
+            "errors small relative to the swings: rmse {rmse} vs peak {peak}"
+        );
+    }
+}

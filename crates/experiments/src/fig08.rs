@@ -1,0 +1,125 @@
+//! Figure 8: the three failure modes of open-loop shedding (§4.3.2),
+//! demonstrated analytically on the queue model.
+//!
+//! * **Example 1** — monotonically increasing rate → queue (and delay)
+//!   grow without bound;
+//! * **Example 2** — a step to a sustained higher rate → delay converges,
+//!   but to a *wrong* value the open loop cannot correct;
+//! * **Example 3** — a small step just above capacity with an empty queue
+//!   → data are shed although the delay target was never threatened.
+
+use crate::{FigureResult, Series};
+use streamshed_control::model::PlantModel;
+use streamshed_engine::time::secs;
+
+/// The open-loop Aurora policy applied to the analytic queue model:
+/// admitted rate = `min(fin(k), L0)` *plus* the one-period-stale shed
+/// amount error `fin(k) − fin(k−1)` of Eq. 8.
+fn aurora_queue_trajectory(fins: &[f64], l0: f64, model: &PlantModel) -> (Vec<f64>, Vec<f64>) {
+    let mut q = 0.0f64;
+    let mut qs = Vec::with_capacity(fins.len());
+    let mut shed = Vec::with_capacity(fins.len());
+    let mut prev_fin = fins.first().copied().unwrap_or(0.0);
+    for &fin in fins {
+        // Shed amount decided from last period's rate (Eq. 7).
+        let s = (prev_fin - l0).max(0.0);
+        let admitted = (fin - s).max(0.0);
+        shed.push(s.min(fin));
+        q = model.step_queue(q, admitted, l0.min(q / model.period.as_secs_f64() + admitted));
+        prev_fin = fin;
+        qs.push(q);
+    }
+    (qs, shed)
+}
+
+/// Runs the Fig. 8 demonstrations (80 analytic periods each).
+pub fn run() -> FigureResult {
+    let l0 = 190.0;
+    let model = PlantModel::new(1e6 / 190.0, 1.0, secs(1));
+    let horizon = 80usize;
+
+    // Example 1: ramp 150 → 940 t/s.
+    let ramp: Vec<f64> = (0..horizon).map(|k| 150.0 + 10.0 * k as f64).collect();
+    let (q1, _) = aurora_queue_trajectory(&ramp, l0, &model);
+
+    // Example 2: step 150 → 400 t/s at k = 20.
+    let step: Vec<f64> = (0..horizon)
+        .map(|k| if k < 20 { 150.0 } else { 400.0 })
+        .collect();
+    let (q2, _) = aurora_queue_trajectory(&step, l0, &model);
+
+    // Example 3: small step 100 → 200 t/s (just above L0) at k = 20 with
+    // an empty queue: shedding happens although delay stays tiny.
+    let small: Vec<f64> = (0..horizon)
+        .map(|k| if k < 20 { 100.0 } else { 200.0 })
+        .collect();
+    let (q3, shed3) = aurora_queue_trajectory(&small, l0, &model);
+
+    let delay = |qs: &[f64]| -> Vec<(f64, f64)> {
+        qs.iter()
+            .enumerate()
+            .map(|(k, &q)| (k as f64, model.predict_delay_s(q.round() as u64)))
+            .collect()
+    };
+
+    let series = vec![
+        Series::new("ex1: ramp delay (s)", delay(&q1)),
+        Series::new("ex2: step delay (s)", delay(&q2)),
+        Series::new("ex3: small-step delay (s)", delay(&q3)),
+        Series::new(
+            "ex3: shed rate (t/s)",
+            shed3
+                .iter()
+                .enumerate()
+                .map(|(k, &s)| (k as f64, s))
+                .collect(),
+        ),
+    ];
+
+    let d1 = delay(&q1);
+    let d2 = delay(&q2);
+    let d3 = delay(&q3);
+    let summary = vec![
+        ("ex1_final_delay_s".into(), d1.last().unwrap().1),
+        ("ex1_mid_delay_s".into(), d1[horizon / 2].1),
+        ("ex2_final_delay_s".into(), d2.last().unwrap().1),
+        ("ex3_max_delay_s".into(), d3.iter().map(|&(_, y)| y).fold(0.0, f64::max)),
+        (
+            "ex3_total_shed_tuples".into(),
+            shed3.iter().sum::<f64>(),
+        ),
+    ];
+
+    FigureResult {
+        id: "fig08".into(),
+        title: "Open-loop failure modes (analytic, §4.3.2)".into(),
+        x_label: "period k".into(),
+        y_label: "delay (s) / shed (t/s)".into(),
+        series,
+        summary,
+        notes: vec![
+            "ex1: unbounded growth under a ramp".into(),
+            "ex2: converges to a wrong value after a step".into(),
+            "ex3: data shed although the delay never neared any target".into(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_failure_modes_visible() {
+        let fig = run();
+        let get = |name: &str| fig.summary.iter().find(|(n, _)| n == name).unwrap().1;
+        // Ex 1: still growing at the end.
+        assert!(get("ex1_final_delay_s") > get("ex1_mid_delay_s") + 1.0);
+        // Ex 2: settles at a clearly elevated (wrong) value.
+        let final2 = get("ex2_final_delay_s");
+        assert!(final2 > 1.0, "ex2 final {final2}");
+        // Ex 3: delay never exceeds a second, yet data were shed.
+        assert!(get("ex3_max_delay_s") < 1.0);
+        assert!(get("ex3_total_shed_tuples") > 100.0);
+    }
+}

@@ -1,0 +1,65 @@
+//! Figure 13: the arrival-rate traces themselves.
+//!
+//! Plots per-second arrival rates of the Web-like and Pareto(β = 1)
+//! inputs; the Pareto trace fluctuates more dramatically.
+
+use crate::{FigureResult, Series};
+use streamshed_workload::{coefficient_of_variation, rate_series, ArrivalTrace, ParetoTrace, WebLikeTrace};
+
+/// Runs the Fig. 13 rendering.
+pub fn run(seed: u64) -> FigureResult {
+    let duration = 400.0;
+    let web = WebLikeTrace::paper_default(seed);
+    let pareto = ParetoTrace::paper_default(seed);
+    let web_rates = rate_series(&web.arrival_times(duration), 1.0, duration);
+    let pareto_rates = rate_series(&pareto.arrival_times(duration), 1.0, duration);
+
+    let web_cv = coefficient_of_variation(&web_rates);
+    let pareto_cv = coefficient_of_variation(&pareto_rates);
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let max = |v: &[f64]| v.iter().cloned().fold(0.0, f64::max);
+
+    let summary = vec![
+        ("web_mean_tps".into(), mean(&web_rates)),
+        ("web_peak_tps".into(), max(&web_rates)),
+        ("web_cv".into(), web_cv),
+        ("pareto_mean_tps".into(), mean(&pareto_rates)),
+        ("pareto_peak_tps".into(), max(&pareto_rates)),
+        ("pareto_cv".into(), pareto_cv),
+    ];
+
+    FigureResult {
+        id: "fig13".into(),
+        title: "Traces of synthetic and web-like stream data".into(),
+        x_label: "time (s)".into(),
+        y_label: "arrival rate (t/s)".into(),
+        series: vec![
+            Series::from_values("Web", &web_rates),
+            Series::from_values("Pareto", &pareto_rates),
+        ],
+        summary,
+        notes: vec![
+            "paper: both traces roam 0–800 t/s; Pareto fluctuates more than Web".into(),
+            "Web trace is a Paxson–Floyd ON/OFF substitute for LBL-PKT-4 (see DESIGN.md)"
+                .into(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_match_figure_13_shape() {
+        let fig = run(5);
+        let get = |name: &str| fig.summary.iter().find(|(n, _)| n == name).unwrap().1;
+        // Means near the ~200 t/s operating point.
+        assert!((get("web_mean_tps") - 192.0).abs() < 60.0);
+        assert!((get("pareto_mean_tps") - 200.0).abs() < 40.0);
+        // Bursts well above the mean.
+        assert!(get("pareto_peak_tps") > 400.0);
+        // Pareto is the more dramatic trace.
+        assert!(get("pareto_cv") > get("web_cv"));
+    }
+}

@@ -1,0 +1,93 @@
+//! Figure 15: transient performance — the measured y(k) series of all
+//! three strategies on both traces (with the Fig. 14 cost variation).
+//!
+//! The paper's observation: CTRL hugs the 2 s target with brief
+//! excursions at the cost peaks; BASELINE and AURORA show peaks that are
+//! large in both height and width.
+
+use crate::{FigureResult, Series};
+
+/// Runs the Fig. 15 experiment (reuses the Fig. 12 run configuration).
+pub fn run(seed: u64) -> FigureResult {
+    let mut series = Vec::new();
+    let mut summary = Vec::new();
+
+    for (trace_name, times) in crate::fig12::traces(seed) {
+        for outcome in crate::fig12::collect_outcomes(&times, seed) {
+            let ys: Vec<(f64, f64)> = outcome
+                .report
+                .periods
+                .iter()
+                .map(|p| (p.time_s, p.arrival_mean_delay_ms / 1e3))
+                .collect();
+            // Time CTRL and friends spend within ±25% of the target.
+            let finite: Vec<f64> = ys
+                .iter()
+                .map(|&(_, y)| y)
+                .filter(|y| y.is_finite())
+                .collect();
+            let near_target = finite
+                .iter()
+                .filter(|&&y| (y - 2.0).abs() < 0.5)
+                .count() as f64
+                / finite.len().max(1) as f64;
+            // Width of excursions: fraction of periods 50% above target.
+            let above_3s = finite.iter().filter(|&&y| y > 3.0).count() as f64
+                / finite.len().max(1) as f64;
+            let peak = finite.iter().cloned().fold(0.0, f64::max);
+            summary.push((
+                format!("{trace_name}:{}:frac_near_target", outcome.name),
+                near_target,
+            ));
+            summary.push((
+                format!("{trace_name}:{}:frac_above_3s", outcome.name),
+                above_3s,
+            ));
+            summary.push((format!("{trace_name}:{}:peak_delay_s", outcome.name), peak));
+            series.push(Series::new(format!("{}/{}", outcome.name, trace_name), ys));
+        }
+    }
+
+    FigureResult {
+        id: "fig15".into(),
+        title: "Transient performance of load-shedding methods".into(),
+        x_label: "time (s)".into(),
+        y_label: "avg delay (s)".into(),
+        series,
+        summary,
+        notes: vec![
+            "paper: CTRL stays near 2 s (brief excursions at cost peaks); \
+             AURORA/BASELINE show wide multi-second peaks"
+                .into(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctrl_hugs_target_others_dont() {
+        let fig = run(7);
+        let get = |name: &str| fig.summary.iter().find(|(n, _)| n == name).unwrap().1;
+        for trace in ["Web", "Pareto"] {
+            let ctrl_near = get(&format!("{trace}:CTRL:frac_near_target"));
+            let aurora_near = get(&format!("{trace}:AURORA:frac_near_target"));
+            assert!(
+                ctrl_near > aurora_near,
+                "{trace}: CTRL near-target fraction {ctrl_near} vs AURORA {aurora_near}"
+            );
+            // The distinguishing feature is excursion *width*: the cost
+            // jump spikes everyone's delay briefly, but only CTRL brings
+            // it straight back (paper: peaks "large in both height and
+            // width" for the others).
+            let ctrl_wide = get(&format!("{trace}:CTRL:frac_above_3s"));
+            let aurora_wide = get(&format!("{trace}:AURORA:frac_above_3s"));
+            assert!(
+                aurora_wide > ctrl_wide * 2.0,
+                "{trace}: AURORA time >3 s {aurora_wide} vs CTRL {ctrl_wide}"
+            );
+        }
+    }
+}

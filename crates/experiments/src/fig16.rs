@@ -1,0 +1,104 @@
+//! Figure 16: can AURORA be rescued by retuning `L0` (H = 0.96)?
+//!
+//! The paper shows open-loop robustness is poor: with a smaller `L0`,
+//! the Web input remains unstable while the Pareto input stabilises —
+//! at the price of ~37% more data loss than CTRL.
+
+use crate::runner::{run_with_strategy, StrategyKind};
+use crate::{FigureResult, Series};
+use streamshed_control::loop_::LoopConfig;
+use streamshed_workload::CostTrace;
+
+/// The retuned headroom for `L0`.
+pub const RETUNED_H: f64 = 0.96;
+
+/// Runs the Fig. 16 experiment.
+pub fn run(seed: u64) -> FigureResult {
+    let cfg = LoopConfig::paper_default();
+    let cost = CostTrace::paper_fig14(crate::fig12::BASE_COST_MS, seed ^ 0xC057);
+    let mut series = Vec::new();
+    let mut summary = Vec::new();
+
+    for (trace_name, times) in crate::fig12::traces(seed) {
+        let aurora96 = run_with_strategy(
+            StrategyKind::AuroraWithHeadroom(RETUNED_H),
+            &times,
+            &cfg,
+            crate::fig12::DURATION_S,
+            Some(&cost),
+            None,
+            seed,
+        );
+        let ctrl = run_with_strategy(
+            StrategyKind::Ctrl,
+            &times,
+            &cfg,
+            crate::fig12::DURATION_S,
+            Some(&cost),
+            None,
+            seed,
+        );
+        series.push(Series::new(
+            format!("AURORA(H=0.96)/{trace_name}"),
+            aurora96
+                .report
+                .periods
+                .iter()
+                .map(|p| (p.time_s, p.arrival_mean_delay_ms / 1e3))
+                .collect(),
+        ));
+        summary.push((
+            format!("{trace_name}:loss_vs_ctrl"),
+            aurora96.metrics.loss_ratio / ctrl.metrics.loss_ratio.max(1e-12),
+        ));
+        summary.push((
+            format!("{trace_name}:violations_vs_ctrl"),
+            aurora96.metrics.accumulated_violation_ms
+                / ctrl.metrics.accumulated_violation_ms.max(1e-12),
+        ));
+        summary.push((
+            format!("{trace_name}:aurora96_loss"),
+            aurora96.metrics.loss_ratio,
+        ));
+        summary.push((format!("{trace_name}:ctrl_loss"), ctrl.metrics.loss_ratio));
+    }
+
+    FigureResult {
+        id: "fig16".into(),
+        title: "AURORA with retuned L0 (H = 0.96)".into(),
+        x_label: "time (s)".into(),
+        y_label: "avg delay (s)".into(),
+        series,
+        summary,
+        notes: vec![
+            "paper: Web input still unstable; Pareto stabilises but costs \
+             ~37% more data loss than CTRL — open-loop tuning is fragile \
+             and input-dependent"
+                .into(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retuning_trades_loss_without_fixing_robustness() {
+        let fig = run(7);
+        let get = |name: &str| fig.summary.iter().find(|(n, _)| n == name).unwrap().1;
+        // Retuned AURORA sheds more than CTRL on at least one input
+        // (the paper: +37% on Pareto)...
+        let max_loss_ratio = get("Web:loss_vs_ctrl").max(get("Pareto:loss_vs_ctrl"));
+        assert!(
+            max_loss_ratio > 1.0,
+            "retuned AURORA should lose more data somewhere: {max_loss_ratio}"
+        );
+        // ...and still accumulates more delay violations than CTRL on the
+        // Web input (remains effectively unstable). The exact ratio is
+        // seed-sensitive (1.3–1.9 across trajectories); direction is what
+        // the paper claims.
+        let web_viol = get("Web:violations_vs_ctrl");
+        assert!(web_viol > 1.1, "Web violations ratio {web_viol}");
+    }
+}

@@ -1,0 +1,104 @@
+//! Figure 17: robustness against input burstiness.
+//!
+//! Pareto traces with bias factors β ∈ {0.1, 0.25, 0.5, 1, 1.25, 1.5}
+//! (smaller = burstier). All four metrics are reported relative to the
+//! β = 1.5 case: CTRL barely moves, AURORA degrades dramatically.
+
+use crate::runner::{run_with_strategy, MetricsSummary, StrategyKind};
+use crate::{FigureResult, Series};
+use streamshed_control::loop_::LoopConfig;
+use streamshed_workload::{ArrivalTrace, ParetoTrace};
+
+/// The bias factors swept in the paper.
+pub const BIASES: [f64; 6] = [0.1, 0.25, 0.5, 1.0, 1.25, 1.5];
+
+fn metrics_for(kind: StrategyKind, beta: f64, seed: u64) -> MetricsSummary {
+    let trace = ParetoTrace::builder()
+        .mean_rate(200.0)
+        .bias(beta)
+        .seed(seed)
+        .build();
+    let times = trace.arrival_times(crate::fig12::DURATION_S as f64);
+    let cfg = LoopConfig::paper_default();
+    run_with_strategy(
+        kind,
+        &times,
+        &cfg,
+        crate::fig12::DURATION_S,
+        None,
+        None,
+        seed,
+    )
+    .metrics
+}
+
+/// Runs the Fig. 17 sweep.
+pub fn run(seed: u64) -> FigureResult {
+    let mut series = Vec::new();
+    let mut summary = Vec::new();
+
+    for kind in [StrategyKind::Ctrl, StrategyKind::Aurora] {
+        let all: Vec<(f64, MetricsSummary)> = BIASES
+            .iter()
+            .map(|&b| (b, metrics_for(kind, b, seed)))
+            .collect();
+        let reference = all.last().unwrap().1; // β = 1.5
+        let metric_names = [
+            "accumulated_violations",
+            "delayed_tuples",
+            "max_overshoot",
+            "data_loss",
+        ];
+        for (mi, name) in metric_names.iter().enumerate() {
+            let pts: Vec<(f64, f64)> = all
+                .iter()
+                .map(|&(b, m)| (b, m.relative_to(&reference)[mi]))
+                .collect();
+            // Spread = max/min over the sweep: the robustness summary.
+            let vals: Vec<f64> = pts
+                .iter()
+                .map(|&(_, v)| v)
+                .filter(|v| v.is_finite())
+                .collect();
+            let spread = vals.iter().cloned().fold(0.0, f64::max)
+                / vals.iter().cloned().fold(f64::MAX, f64::min).max(1e-12);
+            summary.push((format!("{}:{name}_spread", kind.name()), spread));
+            series.push(Series::new(format!("{}:{name}", kind.name()), pts));
+        }
+    }
+
+    FigureResult {
+        id: "fig17".into(),
+        title: "Effect of input burstiness (bias factor) on performance".into(),
+        x_label: "bias factor β (smaller = burstier)".into(),
+        y_label: "metric relative to β = 1.5".into(),
+        series,
+        summary,
+        notes: vec![
+            "paper: CTRL's metrics barely change across β; AURORA's swing \
+             by up to ~4×"
+                .into(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctrl_is_more_robust_than_aurora() {
+        let fig = run(7);
+        let get = |name: &str| fig.summary.iter().find(|(n, _)| n == name).unwrap().1;
+        // Loss must track the workload for both (not a robustness issue),
+        // but violations spread should be far larger for AURORA.
+        let ctrl_spread = get("CTRL:accumulated_violations_spread");
+        let aurora_spread = get("AURORA:accumulated_violations_spread");
+        assert!(
+            aurora_spread > ctrl_spread * 1.5,
+            "AURORA spread {aurora_spread} vs CTRL {ctrl_spread}"
+        );
+        // Data-loss spread stays modest for CTRL.
+        assert!(get("CTRL:data_loss_spread") < 3.0);
+    }
+}

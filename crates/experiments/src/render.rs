@@ -1,0 +1,164 @@
+//! Minimal ASCII rendering of series and tables for terminal output.
+
+use crate::Series;
+
+const MARKS: &[char] = &['*', '+', 'o', 'x', '#', '@', '%', '&'];
+
+/// Renders multiple series into a fixed-size ASCII chart with axis labels
+/// and a legend. `NaN` points are skipped.
+pub fn render_ascii_chart(
+    series: &[Series],
+    x_label: &str,
+    y_label: &str,
+    width: usize,
+    height: usize,
+) -> String {
+    let width = width.max(16);
+    let height = height.max(4);
+    let finite: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .collect();
+    if finite.is_empty() {
+        return String::from("  (no finite data)\n");
+    }
+    let (mut x_min, mut x_max) = (f64::MAX, f64::MIN);
+    let (mut y_min, mut y_max) = (f64::MAX, f64::MIN);
+    for &(x, y) in &finite {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    if (x_max - x_min).abs() < 1e-12 {
+        x_max = x_min + 1.0;
+    }
+    if (y_max - y_min).abs() < 1e-12 {
+        y_max = y_min + 1.0;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let mark = MARKS[si % MARKS.len()];
+        for &(x, y) in &s.points {
+            if !x.is_finite() || !y.is_finite() {
+                continue;
+            }
+            let col = (((x - x_min) / (x_max - x_min)) * (width - 1) as f64).round() as usize;
+            let row = (((y - y_min) / (y_max - y_min)) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - row.min(height - 1);
+            grid[row][col.min(width - 1)] = mark;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("  {y_label}\n"));
+    for (i, row) in grid.iter().enumerate() {
+        let edge = if i == 0 {
+            format!("{y_max:10.2} |")
+        } else if i == height - 1 {
+            format!("{y_min:10.2} |")
+        } else {
+            "           |".to_string()
+        };
+        out.push_str(&edge);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "           +{}\n            {:<10.2}{:>width$.2}  ({x_label})\n",
+        "-".repeat(width),
+        x_min,
+        x_max,
+        width = width - 10
+    ));
+    out.push_str("  legend: ");
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!("{}={}  ", MARKS[si % MARKS.len()], s.name));
+    }
+    out.push('\n');
+    out
+}
+
+/// Renders a simple aligned table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("  ");
+        for (i, cell) in cells.iter().enumerate() {
+            line.push_str(&format!("{:<width$}  ", cell, width = widths[i]));
+        }
+        line.trim_end().to_string() + "\n"
+    };
+    out.push_str(&fmt_row(
+        &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        &widths,
+    ));
+    out.push_str(&format!(
+        "  {}\n",
+        widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    ));
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chart_contains_marks_and_legend() {
+        let s = vec![
+            Series::new("up", (0..10).map(|i| (i as f64, i as f64)).collect()),
+            Series::new("down", (0..10).map(|i| (i as f64, 9.0 - i as f64)).collect()),
+        ];
+        let out = render_ascii_chart(&s, "t", "y", 40, 10);
+        assert!(out.contains('*'));
+        assert!(out.contains('+'));
+        assert!(out.contains("legend: *=up  +=down"));
+    }
+
+    #[test]
+    fn chart_handles_empty_and_nan() {
+        let out = render_ascii_chart(&[], "t", "y", 40, 10);
+        assert!(out.contains("no finite data"));
+        let s = vec![Series::new("n", vec![(0.0, f64::NAN)])];
+        assert!(render_ascii_chart(&s, "t", "y", 40, 10).contains("no finite data"));
+    }
+
+    #[test]
+    fn chart_handles_constant_series() {
+        let s = vec![Series::new("c", vec![(0.0, 5.0), (1.0, 5.0)])];
+        let out = render_ascii_chart(&s, "t", "y", 20, 5);
+        assert!(out.contains('*'));
+    }
+
+    #[test]
+    fn table_aligns_columns() {
+        let out = render_table(
+            &["name", "value"],
+            &[
+                vec!["alpha".into(), "1".into()],
+                vec!["b".into(), "10000".into()],
+            ],
+        );
+        assert!(out.contains("name"));
+        assert!(out.contains("alpha"));
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+    }
+}

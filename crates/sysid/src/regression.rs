@@ -1,0 +1,151 @@
+//! Multi-rate regression identification.
+//!
+//! In sustained overload the model predicts a delay *growth rate* linear
+//! in the input rate:
+//!
+//! ```text
+//! dy/dt = fin·(c/H) − 1        (seconds of delay per second)
+//! ```
+//!
+//! Driving the engine at several overload rates and regressing the
+//! measured `Δy` slopes against `fin` therefore recovers **both** model
+//! parameters at once: the slope is `c/H` (capacity = 1/slope) and the
+//! intercept must be −1 — a falsifiable structural check that the plant
+//! really is the paper's integrator (an extra pole or dead time would
+//! bend the line).
+
+use crate::run_identification;
+use serde::{Deserialize, Serialize};
+use streamshed_engine::network::QueryNetwork;
+use streamshed_engine::sim::SimConfig;
+use streamshed_workload::StepTrace;
+
+/// Result of the multi-rate regression.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegressionFit {
+    /// `(fin, measured dy/dt)` samples used.
+    pub samples: Vec<(f64, f64)>,
+    /// Fitted slope `c/H`, seconds per tuple.
+    pub slope: f64,
+    /// Fitted intercept (model predicts −1).
+    pub intercept: f64,
+    /// Implied processing capacity `H/c = 1/slope`, tuples/s.
+    pub capacity_tps: f64,
+    /// Coefficient of determination of the linear fit.
+    pub r_squared: f64,
+}
+
+impl RegressionFit {
+    /// Given an independently measured per-tuple cost (µs), the implied
+    /// headroom `H = c/slope`.
+    pub fn implied_headroom(&self, cost_us: f64) -> f64 {
+        cost_us / 1e6 / self.slope
+    }
+}
+
+/// Ordinary least squares for `y = a·x + b`.
+fn ols(samples: &[(f64, f64)]) -> (f64, f64, f64) {
+    let n = samples.len() as f64;
+    assert!(n >= 2.0, "need at least two samples");
+    let mean_x = samples.iter().map(|&(x, _)| x).sum::<f64>() / n;
+    let mean_y = samples.iter().map(|&(_, y)| y).sum::<f64>() / n;
+    let sxx: f64 = samples.iter().map(|&(x, _)| (x - mean_x).powi(2)).sum();
+    let sxy: f64 = samples
+        .iter()
+        .map(|&(x, y)| (x - mean_x) * (y - mean_y))
+        .sum();
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let ss_tot: f64 = samples.iter().map(|&(_, y)| (y - mean_y).powi(2)).sum();
+    let ss_res: f64 = samples
+        .iter()
+        .map(|&(x, y)| (y - (slope * x + intercept)).powi(2))
+        .sum();
+    let r2 = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+    (slope, intercept, r2)
+}
+
+/// Runs the engine at each overload `rate` for `observe_s` seconds and
+/// regresses the steady Δy slope against the rate.
+///
+/// All rates should exceed the capacity, or their Δy is ~0 and the fit
+/// degrades toward the knee's corner.
+pub fn regression_identify(
+    make_network: impl Fn() -> QueryNetwork,
+    rates: &[f64],
+    observe_s: u64,
+    cfg: &SimConfig,
+) -> RegressionFit {
+    assert!(rates.len() >= 2);
+    let mut samples = Vec::with_capacity(rates.len());
+    for &rate in rates {
+        let run = run_identification(
+            make_network(),
+            &StepTrace::constant(rate),
+            observe_s,
+            observe_s * 4,
+            cfg.clone(),
+        );
+        // Steady-state Δy: mean over the middle-to-late window (skip the
+        // fill transient).
+        let dys = run.delta_y_ms();
+        let tail: Vec<f64> = dys[(dys.len() / 3)..]
+            .iter()
+            .copied()
+            .filter(|d| d.is_finite())
+            .collect();
+        let dy_per_s = tail.iter().sum::<f64>() / tail.len().max(1) as f64 / 1e3
+            / cfg.period.as_secs_f64();
+        samples.push((rate, dy_per_s));
+    }
+    let (slope, intercept, r_squared) = ols(&samples);
+    RegressionFit {
+        samples,
+        slope,
+        intercept,
+        capacity_tps: 1.0 / slope,
+        r_squared,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamshed_engine::networks::identification_network;
+
+    #[test]
+    fn ols_exact_on_linear_data() {
+        let samples: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 * i as f64 - 2.0)).collect();
+        let (a, b, r2) = ols(&samples);
+        assert!((a - 3.0).abs() < 1e-12);
+        assert!((b + 2.0).abs() < 1e-12);
+        assert!((r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recovers_capacity_and_integrator_structure() {
+        let fit = regression_identify(
+            identification_network,
+            &[230.0, 260.0, 300.0, 340.0],
+            40,
+            &SimConfig::paper_default(),
+        );
+        // Capacity ≈ 190 t/s.
+        assert!(
+            (fit.capacity_tps - 190.0).abs() < 15.0,
+            "capacity {}",
+            fit.capacity_tps
+        );
+        // The structural check: intercept ≈ −1 (pure integrator).
+        assert!(
+            (fit.intercept + 1.0).abs() < 0.25,
+            "intercept {}",
+            fit.intercept
+        );
+        // Strongly linear.
+        assert!(fit.r_squared > 0.98, "R² {}", fit.r_squared);
+        // Implied headroom from the calibrated cost ≈ 0.97.
+        let h = fit.implied_headroom(5105.0);
+        assert!((h - 0.97).abs() < 0.08, "implied H {h}");
+    }
+}

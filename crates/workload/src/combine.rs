@@ -1,0 +1,225 @@
+//! Trace combinators: compose arrival traces into richer scenarios
+//! (overlay a flash crowd on a baseline, scale a recorded trace, splice
+//! phases together) without writing new generators.
+
+use crate::ArrivalTrace;
+
+/// The superposition of two traces (both streams arrive).
+pub struct Overlay<A, B>(pub A, pub B);
+
+impl<A: ArrivalTrace, B: ArrivalTrace> ArrivalTrace for Overlay<A, B> {
+    fn arrival_times(&self, duration_s: f64) -> Vec<f64> {
+        let mut out = self.0.arrival_times(duration_s);
+        out.extend(self.1.arrival_times(duration_s));
+        out.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        out
+    }
+
+    fn mean_rate(&self) -> f64 {
+        self.0.mean_rate() + self.1.mean_rate()
+    }
+}
+
+/// Thins a trace: each arrival survives with probability `keep`
+/// (deterministic stride-based thinning, so composition stays
+/// reproducible without an RNG).
+pub struct Thin<A> {
+    inner: A,
+    keep: f64,
+}
+
+impl<A> Thin<A> {
+    /// Keeps approximately `keep` ∈ (0, 1] of the arrivals.
+    pub fn new(inner: A, keep: f64) -> Self {
+        assert!(keep > 0.0 && keep <= 1.0);
+        Self { inner, keep }
+    }
+}
+
+impl<A: ArrivalTrace> ArrivalTrace for Thin<A> {
+    fn arrival_times(&self, duration_s: f64) -> Vec<f64> {
+        // Deterministic low-discrepancy thinning: keep arrival i when the
+        // fractional accumulator crosses an integer.
+        let mut acc = 0.0f64;
+        self.inner
+            .arrival_times(duration_s)
+            .into_iter()
+            .filter(|_| {
+                acc += self.keep;
+                if acc >= 1.0 {
+                    acc -= 1.0;
+                    true
+                } else {
+                    false
+                }
+            })
+            .collect()
+    }
+
+    fn mean_rate(&self) -> f64 {
+        self.inner.mean_rate() * self.keep
+    }
+}
+
+/// Plays `first` for `switch_at_s` seconds, then `second` (time-shifted
+/// to start at the splice point).
+pub struct Splice<A, B> {
+    first: A,
+    second: B,
+    switch_at_s: f64,
+}
+
+impl<A, B> Splice<A, B> {
+    /// Creates the splice.
+    pub fn new(first: A, second: B, switch_at_s: f64) -> Self {
+        assert!(switch_at_s >= 0.0);
+        Self {
+            first,
+            second,
+            switch_at_s,
+        }
+    }
+}
+
+impl<A: ArrivalTrace, B: ArrivalTrace> ArrivalTrace for Splice<A, B> {
+    fn arrival_times(&self, duration_s: f64) -> Vec<f64> {
+        let cut = self.switch_at_s.min(duration_s);
+        let mut out: Vec<f64> = self
+            .first
+            .arrival_times(cut)
+            .into_iter()
+            .filter(|&t| t < cut)
+            .collect();
+        if duration_s > cut {
+            out.extend(
+                self.second
+                    .arrival_times(duration_s - cut)
+                    .into_iter()
+                    .map(|t| t + cut),
+            );
+        }
+        out
+    }
+
+    fn mean_rate(&self) -> f64 {
+        // Ill-defined without a horizon; report the steady-state (second
+        // phase) rate, matching StepTrace's convention.
+        self.second.mean_rate()
+    }
+}
+
+/// Compresses or stretches a trace in time by `factor` (a factor of 2
+/// doubles the rate: the same arrivals land in half the time).
+pub struct TimeScale<A> {
+    inner: A,
+    factor: f64,
+}
+
+impl<A> TimeScale<A> {
+    /// Creates the scaler; `factor > 1` speeds the trace up.
+    pub fn new(inner: A, factor: f64) -> Self {
+        assert!(factor > 0.0 && factor.is_finite());
+        Self { inner, factor }
+    }
+}
+
+impl<A: ArrivalTrace> ArrivalTrace for TimeScale<A> {
+    fn arrival_times(&self, duration_s: f64) -> Vec<f64> {
+        self.inner
+            .arrival_times(duration_s * self.factor)
+            .into_iter()
+            .map(|t| t / self.factor)
+            .collect()
+    }
+
+    fn mean_rate(&self) -> f64 {
+        self.inner.mean_rate() * self.factor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PoissonTrace, StepTrace};
+
+    #[test]
+    fn overlay_sums_rates_and_counts() {
+        let o = Overlay(StepTrace::constant(100.0), StepTrace::constant(50.0));
+        assert_eq!(o.mean_rate(), 150.0);
+        let times = o.arrival_times(10.0);
+        assert!((times.len() as i64 - 1500).abs() <= 2, "{}", times.len());
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn thin_keeps_requested_fraction() {
+        let t = Thin::new(StepTrace::constant(100.0), 0.3);
+        assert!((t.mean_rate() - 30.0).abs() < 1e-9);
+        let times = t.arrival_times(10.0);
+        assert!((times.len() as f64 - 300.0).abs() <= 1.0, "{}", times.len());
+    }
+
+    #[test]
+    fn thin_is_deterministic() {
+        let a = Thin::new(PoissonTrace::new(200.0, 5), 0.5).arrival_times(10.0);
+        let b = Thin::new(PoissonTrace::new(200.0, 5), 0.5).arrival_times(10.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn splice_switches_phases() {
+        let s = Splice::new(
+            StepTrace::constant(10.0),
+            StepTrace::constant(100.0),
+            5.0,
+        );
+        let times = s.arrival_times(10.0);
+        let early = times.iter().filter(|&&t| t < 5.0).count() as i64;
+        let late = times.iter().filter(|&&t| t >= 5.0).count() as i64;
+        assert!((early - 50).abs() <= 1, "early {early}");
+        assert!((late - 500).abs() <= 1, "late {late}");
+    }
+
+    #[test]
+    fn splice_beyond_duration_is_first_only() {
+        let s = Splice::new(
+            StepTrace::constant(10.0),
+            StepTrace::constant(100.0),
+            20.0,
+        );
+        let n = s.arrival_times(10.0).len() as i64;
+        assert!((n - 100).abs() <= 1, "{n}");
+    }
+
+    #[test]
+    fn timescale_compresses() {
+        let t = TimeScale::new(StepTrace::constant(100.0), 2.0);
+        assert_eq!(t.mean_rate(), 200.0);
+        let times = t.arrival_times(5.0);
+        // 10 s of original arrivals squeezed into 5 s.
+        assert!((times.len() as i64 - 1000).abs() <= 1, "{}", times.len());
+        assert!(times.iter().all(|&x| x < 5.0));
+    }
+
+    #[test]
+    fn combinators_compose() {
+        // Flash crowd: baseline Poisson + a compressed burst overlaid
+        // after 5 s, thinned by an edge filter.
+        let scenario = Thin::new(
+            Overlay(
+                PoissonTrace::new(100.0, 1),
+                Splice::new(
+                    StepTrace::constant(0.0),
+                    TimeScale::new(PoissonTrace::new(100.0, 2), 3.0),
+                    5.0,
+                ),
+            ),
+            0.9,
+        );
+        let times = scenario.arrival_times(10.0);
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        let early = times.iter().filter(|&&t| t < 5.0).count() as f64 / 5.0;
+        let late = times.iter().filter(|&&t| t >= 5.0).count() as f64 / 5.0;
+        assert!(late > early * 2.5, "late {late} vs early {early}");
+    }
+}

@@ -1,0 +1,158 @@
+//! Markov-modulated Poisson process (MMPP) arrivals.
+//!
+//! A continuous-time Markov chain switches between states, each with its
+//! own Poisson intensity — the classic model for regime-switching
+//! traffic (quiet/normal/flash-crowd). Complements the Pareto and ON/OFF
+//! generators with *correlated* burst structure whose sojourn times are
+//! exponential rather than heavy-tailed.
+
+use crate::ArrivalTrace;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One regime of the modulating chain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MmppState {
+    /// Poisson intensity while in this state, tuples/s.
+    pub rate: f64,
+    /// Mean sojourn time in this state, seconds.
+    pub mean_sojourn_s: f64,
+}
+
+/// A cyclic-or-random-switching MMPP.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MmppTrace {
+    states: Vec<MmppState>,
+    seed: u64,
+}
+
+impl MmppTrace {
+    /// Creates an MMPP over the given states (uniform random switching
+    /// among the *other* states at each transition).
+    pub fn new(states: Vec<MmppState>, seed: u64) -> Self {
+        assert!(states.len() >= 2, "need at least two regimes");
+        assert!(states
+            .iter()
+            .all(|s| s.rate >= 0.0 && s.mean_sojourn_s > 0.0));
+        Self { states, seed }
+    }
+
+    /// A quiet/normal/flash-crowd instance around the given mean rate.
+    pub fn three_regime(mean_rate: f64, seed: u64) -> Self {
+        // Occupancies ≈ sojourn shares: 0.35 / 0.5 / 0.15.
+        // Rates chosen so the weighted mean hits `mean_rate`:
+        // 0.35·0.3r + 0.5·r + 0.15·2.8r = 1.025r ≈ mean.
+        let r = mean_rate / 1.025;
+        Self::new(
+            vec![
+                MmppState { rate: 0.3 * r, mean_sojourn_s: 7.0 },
+                MmppState { rate: r, mean_sojourn_s: 10.0 },
+                MmppState { rate: 2.8 * r, mean_sojourn_s: 3.0 },
+            ],
+            seed,
+        )
+    }
+
+    /// The configured states.
+    pub fn states(&self) -> &[MmppState] {
+        &self.states
+    }
+}
+
+impl ArrivalTrace for MmppTrace {
+    fn arrival_times(&self, duration_s: f64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut out = Vec::new();
+        let mut t = 0.0f64;
+        let mut state = 0usize;
+        while t < duration_s {
+            let s = self.states[state];
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let sojourn = -u.ln() * s.mean_sojourn_s;
+            let end = (t + sojourn).min(duration_s);
+            if s.rate > 0.0 {
+                let mut at = t;
+                loop {
+                    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                    at += -u.ln() / s.rate;
+                    if at >= end {
+                        break;
+                    }
+                    out.push(at);
+                }
+            }
+            t = end;
+            // Uniform switch to one of the other states.
+            let step = rng.gen_range(1..self.states.len());
+            state = (state + step) % self.states.len();
+        }
+        out
+    }
+
+    fn mean_rate(&self) -> f64 {
+        let total_sojourn: f64 = self.states.iter().map(|s| s.mean_sojourn_s).sum();
+        self.states
+            .iter()
+            .map(|s| s.rate * s.mean_sojourn_s / total_sojourn)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{coefficient_of_variation, rate_series, PoissonTrace};
+
+    #[test]
+    fn mean_rate_roughly_matches() {
+        let trace = MmppTrace::three_regime(200.0, 5);
+        let times = trace.arrival_times(600.0);
+        let rate = times.len() as f64 / 600.0;
+        let want = trace.mean_rate();
+        assert!((rate - want).abs() < want * 0.25, "rate {rate}, want {want}");
+    }
+
+    #[test]
+    fn burstier_than_poisson() {
+        let mmpp = MmppTrace::three_regime(200.0, 7);
+        let poisson = PoissonTrace::new(200.0, 7);
+        let m_cv = coefficient_of_variation(&rate_series(
+            &mmpp.arrival_times(400.0),
+            1.0,
+            400.0,
+        ));
+        let p_cv = coefficient_of_variation(&rate_series(
+            &poisson.arrival_times(400.0),
+            1.0,
+            400.0,
+        ));
+        assert!(m_cv > p_cv * 1.5, "mmpp {m_cv} vs poisson {p_cv}");
+    }
+
+    #[test]
+    fn regimes_visibly_switch() {
+        // With a flash-crowd regime at 2.8× the base, some 1-second bins
+        // should exceed twice the long-run mean.
+        let trace = MmppTrace::three_regime(200.0, 11);
+        let rates = rate_series(&trace.arrival_times(400.0), 1.0, 400.0);
+        assert!(rates.iter().any(|&r| r > 400.0));
+        assert!(rates.iter().any(|&r| r < 120.0));
+    }
+
+    #[test]
+    fn deterministic_sorted() {
+        let a = MmppTrace::three_regime(100.0, 2).arrival_times(60.0);
+        let b = MmppTrace::three_regime(100.0, 2).arrival_times(60.0);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "two regimes")]
+    fn rejects_single_state() {
+        let _ = MmppTrace::new(
+            vec![MmppState { rate: 1.0, mean_sojourn_s: 1.0 }],
+            0,
+        );
+    }
+}

@@ -1,0 +1,131 @@
+//! Sinusoidal arrival traces (model verification, Fig. 7).
+
+use crate::ArrivalTrace;
+
+/// Arrivals whose instantaneous rate follows
+/// `r(t) = offset + amplitude · sin(2πt / period + phase)`, clamped at 0.
+///
+/// The paper's Fig. 7 uses a sinusoid sweeping `[0, 400]` tuples/s.
+/// Arrival instants are produced deterministically by inverting the
+/// cumulative rate function: the n-th arrival occurs when
+/// `∫₀ᵗ r(τ)dτ = n`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SineTrace {
+    /// Minimum instantaneous rate (t/s).
+    pub min_rate: f64,
+    /// Maximum instantaneous rate (t/s).
+    pub max_rate: f64,
+    /// Oscillation period, seconds.
+    pub period_s: f64,
+    /// Phase offset, radians.
+    pub phase: f64,
+}
+
+impl SineTrace {
+    /// Creates a sinusoid sweeping `[min_rate, max_rate]` with the given
+    /// period.
+    pub fn new(min_rate: f64, max_rate: f64, period_s: f64) -> Self {
+        assert!(min_rate >= 0.0 && max_rate >= min_rate && period_s > 0.0);
+        Self {
+            min_rate,
+            max_rate,
+            period_s,
+            phase: -std::f64::consts::FRAC_PI_2, // start at the minimum
+        }
+    }
+
+    /// The paper's Fig. 7 input: rate sweeping `[0, 400]` t/s. A 40-second
+    /// oscillation matches the figure's visible period.
+    pub fn paper_sine() -> Self {
+        Self::new(0.0, 400.0, 40.0)
+    }
+
+    /// Instantaneous rate at time `t`.
+    pub fn rate_at(&self, t: f64) -> f64 {
+        let offset = (self.max_rate + self.min_rate) / 2.0;
+        let amplitude = (self.max_rate - self.min_rate) / 2.0;
+        let omega = 2.0 * std::f64::consts::PI / self.period_s;
+        (offset + amplitude * (omega * t + self.phase).sin()).max(0.0)
+    }
+}
+
+impl ArrivalTrace for SineTrace {
+    fn arrival_times(&self, duration_s: f64) -> Vec<f64> {
+        // Integrate the rate with a fine fixed step; emit an arrival each
+        // time the accumulated mass crosses the next integer.
+        let dt = (self.period_s / 10_000.0).min(1e-3);
+        let mut out = Vec::new();
+        let mut mass = 0.0f64;
+        let mut next = 1.0f64;
+        let mut t = 0.0f64;
+        while t < duration_s {
+            mass += self.rate_at(t) * dt;
+            while mass >= next {
+                // Linear back-interpolation inside the step.
+                out.push(t.min(duration_s));
+                next += 1.0;
+            }
+            t += dt;
+        }
+        out
+    }
+
+    fn mean_rate(&self) -> f64 {
+        (self.max_rate + self.min_rate) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rate_series;
+
+    #[test]
+    fn total_mass_matches_mean_rate() {
+        let trace = SineTrace::new(0.0, 400.0, 40.0);
+        // Over one full period the count should equal mean_rate · period.
+        let times = trace.arrival_times(40.0);
+        let want = trace.mean_rate() * 40.0;
+        assert!(
+            (times.len() as f64 - want).abs() < want * 0.01,
+            "count {} want {want}",
+            times.len()
+        );
+    }
+
+    #[test]
+    fn rate_oscillates_between_bounds() {
+        let trace = SineTrace::new(50.0, 350.0, 20.0);
+        let times = trace.arrival_times(60.0);
+        let rates = rate_series(&times, 1.0, 60.0);
+        let max = rates.iter().cloned().fold(0.0, f64::max);
+        let min = rates.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max > 300.0, "max {max}");
+        assert!(min < 100.0, "min {min}");
+    }
+
+    #[test]
+    fn starts_at_minimum() {
+        let trace = SineTrace::new(0.0, 400.0, 40.0);
+        assert!(trace.rate_at(0.0) < 1.0);
+        assert!((trace.rate_at(10.0) - 200.0).abs() < 1.0);
+        assert!((trace.rate_at(20.0) - 400.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn times_sorted_and_bounded() {
+        let trace = SineTrace::paper_sine();
+        let times = trace.arrival_times(30.0);
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        assert!(times.iter().all(|&t| t <= 30.0));
+    }
+
+    #[test]
+    fn rate_never_negative() {
+        // min_rate 0 with phase at the trough must clamp at 0.
+        let trace = SineTrace::new(0.0, 100.0, 10.0);
+        for i in 0..100 {
+            assert!(trace.rate_at(i as f64 * 0.1) >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Step-function arrival traces (system identification, Figs. 5–6).
+
+use crate::ArrivalTrace;
+
+/// Evenly spaced arrivals whose rate follows a step function of time.
+///
+/// The paper's identification input: "rate starts at very low and jumps to
+/// a high value at the 10-th second" (Fig. 5A).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepTrace {
+    /// `(from_time_s, rate_tps)` breakpoints, sorted by time. The rate
+    /// before the first breakpoint is the first breakpoint's rate.
+    pub steps: Vec<(f64, f64)>,
+}
+
+impl StepTrace {
+    /// A single step: `low` t/s until `jump_at_s`, then `high` t/s.
+    pub fn single(low: f64, high: f64, jump_at_s: f64) -> Self {
+        Self {
+            steps: vec![(0.0, low), (jump_at_s, high)],
+        }
+    }
+
+    /// A constant rate.
+    pub fn constant(rate: f64) -> Self {
+        Self {
+            steps: vec![(0.0, rate)],
+        }
+    }
+
+    /// The paper's Fig. 5 input: 20 t/s for 10 s, then `high` t/s.
+    pub fn paper_step(high: f64) -> Self {
+        Self::single(20.0, high, 10.0)
+    }
+
+    /// Arbitrary breakpoints; times must be non-negative and ascending.
+    pub fn from_steps(steps: Vec<(f64, f64)>) -> Self {
+        assert!(!steps.is_empty(), "at least one step required");
+        assert!(
+            steps.windows(2).all(|w| w[0].0 < w[1].0),
+            "step times must be ascending"
+        );
+        assert!(steps.iter().all(|&(t, r)| t >= 0.0 && r >= 0.0));
+        Self { steps }
+    }
+
+    fn rate_at(&self, t: f64) -> f64 {
+        let mut rate = self.steps[0].1;
+        for &(from, r) in &self.steps {
+            if t >= from {
+                rate = r;
+            } else {
+                break;
+            }
+        }
+        rate
+    }
+}
+
+impl ArrivalTrace for StepTrace {
+    fn arrival_times(&self, duration_s: f64) -> Vec<f64> {
+        let mut out = Vec::new();
+        // Piecewise: within each regime, arrivals are evenly spaced at the
+        // regime's rate, phase-continuing from the regime boundary.
+        let mut boundaries: Vec<f64> = self.steps.iter().map(|&(t, _)| t).collect();
+        boundaries.push(duration_s);
+        for w in boundaries.windows(2) {
+            let (from, to) = (w[0], w[1].min(duration_s));
+            if from >= duration_s {
+                break;
+            }
+            let rate = self.rate_at(from);
+            if rate <= 0.0 {
+                continue;
+            }
+            let gap = 1.0 / rate;
+            let mut t = from;
+            while t < to {
+                out.push(t);
+                t += gap;
+            }
+        }
+        out
+    }
+
+    fn mean_rate(&self) -> f64 {
+        // Time-weighted over the declared breakpoints is ill-defined
+        // without a horizon; report the final (sustained) rate.
+        self.steps.last().map(|&(_, r)| r).unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rate_series;
+
+    #[test]
+    fn single_step_counts() {
+        let trace = StepTrace::single(10.0, 100.0, 5.0);
+        let times = trace.arrival_times(10.0);
+        let rates = rate_series(&times, 1.0, 10.0);
+        for rate in &rates[..5] {
+            assert!((rate - 10.0).abs() < 1.5, "pre-step rate {rate}");
+        }
+        for rate in &rates[5..10] {
+            assert!((rate - 100.0).abs() < 2.0, "post-step rate {rate}");
+        }
+    }
+
+    #[test]
+    fn constant_rate_is_even() {
+        let trace = StepTrace::constant(50.0);
+        let times = trace.arrival_times(4.0);
+        assert_eq!(times.len(), 200);
+        // Evenly spaced.
+        for w in times.windows(2) {
+            assert!((w[1] - w[0] - 0.02).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_rate_regime_produces_nothing() {
+        let trace = StepTrace::from_steps(vec![(0.0, 0.0), (2.0, 10.0)]);
+        let times = trace.arrival_times(4.0);
+        assert!(times.iter().all(|&t| t >= 2.0));
+        assert_eq!(times.len(), 20);
+    }
+
+    #[test]
+    fn times_sorted_and_within_duration() {
+        let trace = StepTrace::paper_step(300.0);
+        let times = trace.arrival_times(50.0);
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        assert!(times.iter().all(|&t| t < 50.0));
+        assert_eq!(trace.mean_rate(), 300.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn rejects_unsorted_steps() {
+        let _ = StepTrace::from_steps(vec![(5.0, 1.0), (2.0, 2.0)]);
+    }
+}

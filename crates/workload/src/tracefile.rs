@@ -1,0 +1,219 @@
+//! Trace persistence and replay.
+//!
+//! The paper replays a recorded trace (the Internet Traffic Archive
+//! timestamps). This module provides the same workflow for user data:
+//! save any generated trace to a one-column CSV of arrival timestamps
+//! (seconds), and replay a CSV — optionally rescaled — as an
+//! [`ArrivalTrace`].
+
+use crate::ArrivalTrace;
+use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
+
+/// A trace loaded from (or destined for) a timestamp file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FileTrace {
+    times: Vec<f64>,
+}
+
+/// Errors from trace file I/O.
+#[derive(Debug)]
+pub enum TraceFileError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line could not be parsed as a timestamp.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Offending content.
+        content: String,
+    },
+    /// Timestamps were not sorted or contained negatives.
+    Invalid(&'static str),
+}
+
+impl std::fmt::Display for TraceFileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceFileError::Io(e) => write!(f, "trace file I/O: {e}"),
+            TraceFileError::Parse { line, content } => {
+                write!(f, "line {line}: cannot parse timestamp {content:?}")
+            }
+            TraceFileError::Invalid(why) => write!(f, "invalid trace: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceFileError {}
+
+impl From<std::io::Error> for TraceFileError {
+    fn from(e: std::io::Error) -> Self {
+        TraceFileError::Io(e)
+    }
+}
+
+impl FileTrace {
+    /// Wraps an in-memory list of arrival instants (must be sorted,
+    /// non-negative).
+    pub fn from_times(times: Vec<f64>) -> Result<Self, TraceFileError> {
+        if times.iter().any(|t| !t.is_finite() || *t < 0.0) {
+            return Err(TraceFileError::Invalid("negative or non-finite timestamp"));
+        }
+        if times.windows(2).any(|w| w[0] > w[1]) {
+            return Err(TraceFileError::Invalid("timestamps not sorted"));
+        }
+        Ok(Self { times })
+    }
+
+    /// Loads a one-timestamp-per-line file. Blank lines and lines
+    /// starting with `#` are skipped.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, TraceFileError> {
+        let file = std::fs::File::open(path)?;
+        let mut times = Vec::new();
+        for (i, line) in BufReader::new(file).lines().enumerate() {
+            let line = line?;
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let t: f64 = trimmed.parse().map_err(|_| TraceFileError::Parse {
+                line: i + 1,
+                content: trimmed.to_string(),
+            })?;
+            times.push(t);
+        }
+        Self::from_times(times)
+    }
+
+    /// Saves any trace to a timestamp file replayable by [`Self::load`].
+    pub fn save(
+        trace: &dyn ArrivalTrace,
+        duration_s: f64,
+        path: impl AsRef<Path>,
+    ) -> Result<(), TraceFileError> {
+        let times = trace.arrival_times(duration_s);
+        let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+        writeln!(out, "# streamshed arrival trace: {} tuples", times.len())?;
+        for t in times {
+            writeln!(out, "{t:.9}")?;
+        }
+        Ok(())
+    }
+
+    /// Number of recorded arrivals.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// True if the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Rescales the trace in time so its span maps onto `new_duration_s`
+    /// (the paper compresses/stretches recorded traces to the experiment
+    /// length the same way).
+    pub fn rescaled_to(&self, new_duration_s: f64) -> FileTrace {
+        assert!(new_duration_s > 0.0);
+        let span = self.times.last().copied().unwrap_or(0.0).max(f64::EPSILON);
+        FileTrace {
+            times: self
+                .times
+                .iter()
+                .map(|t| t / span * new_duration_s * (1.0 - 1e-12))
+                .collect(),
+        }
+    }
+}
+
+impl ArrivalTrace for FileTrace {
+    fn arrival_times(&self, duration_s: f64) -> Vec<f64> {
+        self.times
+            .iter()
+            .copied()
+            .take_while(|&t| t < duration_s)
+            .collect()
+    }
+
+    fn mean_rate(&self) -> f64 {
+        match (self.times.first(), self.times.last()) {
+            (Some(&a), Some(&b)) if b > a => self.times.len() as f64 / (b - a),
+            _ => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ParetoTrace;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("streamshed_trace_{name}_{}.csv", std::process::id()))
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let path = tmp("roundtrip");
+        let trace = ParetoTrace::builder().mean_rate(100.0).seed(3).build();
+        FileTrace::save(&trace, 20.0, &path).unwrap();
+        let loaded = FileTrace::load(&path).unwrap();
+        let original = trace.arrival_times(20.0);
+        assert_eq!(loaded.len(), original.len());
+        let replayed = loaded.arrival_times(20.0);
+        for (a, b) in replayed.iter().zip(&original) {
+            assert!((a - b).abs() < 1e-8);
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn load_skips_comments_and_blanks() {
+        let path = tmp("comments");
+        std::fs::write(&path, "# header\n\n0.5\n1.5\n\n# trailing\n2.5\n").unwrap();
+        let t = FileTrace::load(&path).unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.arrival_times(10.0), vec![0.5, 1.5, 2.5]);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn load_reports_bad_line() {
+        let path = tmp("bad");
+        std::fs::write(&path, "0.5\nnot-a-number\n").unwrap();
+        match FileTrace::load(&path) {
+            Err(TraceFileError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_unsorted_and_negative() {
+        assert!(matches!(
+            FileTrace::from_times(vec![1.0, 0.5]),
+            Err(TraceFileError::Invalid(_))
+        ));
+        assert!(matches!(
+            FileTrace::from_times(vec![-1.0]),
+            Err(TraceFileError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn rescaling_preserves_count_and_order() {
+        let t = FileTrace::from_times(vec![0.0, 5.0, 10.0]).unwrap();
+        let r = t.rescaled_to(2.0);
+        assert_eq!(r.len(), 3);
+        let times = r.arrival_times(2.0);
+        assert_eq!(times.len(), 3);
+        assert!(times[2] < 2.0);
+    }
+
+    #[test]
+    fn truncation_by_duration() {
+        let t = FileTrace::from_times(vec![0.1, 0.9, 5.0]).unwrap();
+        assert_eq!(t.arrival_times(1.0), vec![0.1, 0.9]);
+        assert!((t.mean_rate() - 3.0 / 4.9).abs() < 1e-9);
+    }
+}

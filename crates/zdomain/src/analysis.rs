@@ -1,0 +1,143 @@
+//! Pole-location analysis: damping, natural frequency, time constants.
+//!
+//! Section 4.4.1 of the paper reasons about closed-loop poles in terms of
+//! *convergence rate* and *damping*. These helpers make that reasoning
+//! executable: a discrete pole `z` maps to an equivalent continuous pole
+//! `s = ln(z) / T`, from which damping ratio and natural frequency follow.
+
+use crate::complex::Complex;
+use serde::{Deserialize, Serialize};
+
+/// Characterisation of a single discrete-time pole (unit sampling period).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiscretePoleInfo {
+    /// The pole location in the z-plane.
+    pub pole: (f64, f64),
+    /// Pole magnitude `|z|`. Stable iff < 1.
+    pub magnitude: f64,
+    /// Damping ratio ζ of the equivalent continuous pole.
+    /// 1 for positive real poles; < 1 for complex pairs (oscillatory).
+    pub damping: f64,
+    /// Natural frequency ωₙ (rad/sample) of the equivalent continuous pole.
+    pub natural_freq: f64,
+    /// Time constant in sampling periods: `−1 / ln|z|`.
+    /// Infinite for poles on the unit circle.
+    pub time_constant_periods: f64,
+}
+
+/// Analyses a discrete pole assuming a unit sampling period.
+///
+/// For a pole at `z`, the equivalent continuous pole is `s = ln z`, and the
+/// damping ratio is `ζ = −Re(s) / |s|` (clamped to `[−1, 1]`).
+pub fn damping_of_pole(z: Complex) -> DiscretePoleInfo {
+    let magnitude = z.abs();
+    let s = z.ln();
+    let natural_freq = s.abs();
+    let damping = if natural_freq < 1e-12 {
+        // z = 1: pure integrator — no decay at all.
+        0.0
+    } else {
+        (-s.re / natural_freq).clamp(-1.0, 1.0)
+    };
+    let time_constant_periods = if (magnitude - 1.0).abs() < 1e-12 {
+        f64::INFINITY
+    } else {
+        -1.0 / magnitude.ln()
+    };
+    DiscretePoleInfo {
+        pole: (z.re, z.im),
+        magnitude,
+        damping,
+        natural_freq,
+        time_constant_periods,
+    }
+}
+
+/// Converts a desired *convergence horizon* (the number of sampling periods
+/// to reach `1 − 1/e ≈ 63%` of a step) into a real pole location:
+/// `z = e^{−1/periods}`.
+///
+/// The paper picks 3 periods and rounds `e^{−1/3} ≈ 0.717` down to 0.7.
+pub fn pole_for_convergence_periods(periods: f64) -> f64 {
+    assert!(periods > 0.0, "convergence horizon must be positive");
+    (-1.0 / periods).exp()
+}
+
+/// Whether a set of poles satisfies the paper's design guidance:
+/// all stable, damping ≥ `min_damping` (paper: 0.7–1), and time constant
+/// ≤ `max_periods`.
+pub fn satisfies_design_goals(
+    poles: &[Complex],
+    min_damping: f64,
+    max_periods: f64,
+) -> bool {
+    poles.iter().all(|&p| {
+        let info = damping_of_pole(p);
+        info.magnitude < 1.0
+            && info.damping >= min_damping - 1e-9
+            && info.time_constant_periods <= max_periods + 1e-9
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positive_real_pole_is_critically_damped() {
+        let info = damping_of_pole(Complex::real(0.7));
+        assert!((info.damping - 1.0).abs() < 1e-12);
+        assert!((info.magnitude - 0.7).abs() < 1e-12);
+        // Time constant of 0.7-pole ≈ 2.8 periods (paper: "3 periods").
+        assert!((info.time_constant_periods - 2.803).abs() < 0.01);
+    }
+
+    #[test]
+    fn complex_pole_is_underdamped() {
+        let info = damping_of_pole(Complex::new(0.6, 0.5));
+        assert!(info.damping < 1.0);
+        assert!(info.damping > 0.0);
+        assert!(info.magnitude < 1.0);
+    }
+
+    #[test]
+    fn pole_at_one_has_zero_damping_and_infinite_time_constant() {
+        let info = damping_of_pole(Complex::real(1.0));
+        assert_eq!(info.damping, 0.0);
+        assert!(info.time_constant_periods.is_infinite());
+    }
+
+    #[test]
+    fn negative_real_pole_rings() {
+        // A pole at −0.5 alternates sign every sample — damping well below
+        // the ζ ≥ 0.7 design zone.
+        let info = damping_of_pole(Complex::real(-0.5));
+        assert!(info.damping < 0.7);
+    }
+
+    #[test]
+    fn convergence_periods_maps_to_paper_pole() {
+        let p = pole_for_convergence_periods(3.0);
+        assert!((p - 0.7165).abs() < 1e-3);
+        // ... which the paper rounds to 0.7.
+    }
+
+    #[test]
+    fn design_goal_predicate() {
+        let good = [Complex::real(0.7), Complex::real(0.7)];
+        assert!(satisfies_design_goals(&good, 0.7, 3.5));
+        let oscillatory = [Complex::new(0.3, 0.8), Complex::new(0.3, -0.8)];
+        assert!(!satisfies_design_goals(&oscillatory, 0.7, 10.0));
+        let slow = [Complex::real(0.99)];
+        assert!(!satisfies_design_goals(&slow, 0.7, 3.5));
+        let unstable = [Complex::real(1.2)];
+        assert!(!satisfies_design_goals(&unstable, 0.0, f64::INFINITY));
+    }
+
+    #[test]
+    fn faster_pole_smaller_time_constant() {
+        let fast = damping_of_pole(Complex::real(0.3));
+        let slow = damping_of_pole(Complex::real(0.9));
+        assert!(fast.time_constant_periods < slow.time_constant_periods);
+    }
+}

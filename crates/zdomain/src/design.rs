@@ -1,0 +1,368 @@
+//! Controller design by pole placement (Appendix A of the paper).
+//!
+//! Two levels are provided:
+//!
+//! 1. [`design_for_integrator`] — the paper's closed-form design for the
+//!    integrator plant `G(z) = g/(z−1)` with a first-order controller
+//!    `C(z) = (1/g)·(b0·z + b1)/(z + a)`. The plant gain `g = cT/H`
+//!    cancels, so the returned parameters are gain-normalised; the runtime
+//!    controller multiplies by `H/(cT)` exactly as Eq. (10) does.
+//! 2. [`pole_placement`] — a general Diophantine solver
+//!    `D(z)A(z) + N(z)B(z) = P*(z)` via a Sylvester linear system, for
+//!    arbitrary coprime plants. Used for ablations and as an independent
+//!    check of the closed form.
+
+use crate::linalg::{solve, Matrix, SolveError};
+use crate::poly::Poly;
+use crate::tf::TransferFunction;
+use serde::{Deserialize, Serialize};
+
+/// Gain-normalised parameters of the paper's first-order controller.
+///
+/// The runtime control law (Eq. 10) is
+/// `u(k) = (H/cT)·[b0·e(k) + b1·e(k−1)] − a·u(k−1)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ControllerParams {
+    /// Controller pole parameter (denominator `z + a`).
+    pub a: f64,
+    /// Current-error weight.
+    pub b0: f64,
+    /// Previous-error weight.
+    pub b1: f64,
+}
+
+impl ControllerParams {
+    /// The parameters reported in §5 of the paper:
+    /// `b0 = 0.4, b1 = −0.31, a = −0.8`.
+    pub const PAPER: ControllerParams = ControllerParams {
+        a: -0.8,
+        b0: 0.4,
+        b1: -0.31,
+    };
+
+    /// The gain-normalised controller transfer function
+    /// `(b0·z + b1) / (z + a)`.
+    pub fn transfer_function(&self) -> TransferFunction {
+        TransferFunction::new(
+            Poly::new(vec![self.b1, self.b0]),
+            Poly::new(vec![self.a, 1.0]),
+        )
+        .expect("first-order controller is always proper")
+    }
+
+    /// Closed loop `CG/(1+CG)` for the nominal integrator plant (plant
+    /// gain cancels against the controller's `1/g` factor).
+    pub fn closed_loop(&self) -> TransferFunction {
+        let open = self
+            .transfer_function()
+            .series(&TransferFunction::integrator(1.0));
+        open.close_unity_feedback()
+    }
+
+    /// The closed-loop characteristic polynomial
+    /// `z² + (a − 1 + b0)·z + (b1 − a)`.
+    pub fn clce(&self) -> Poly {
+        Poly::new(vec![self.b1 - self.a, self.a - 1.0 + self.b0, 1.0])
+    }
+
+    /// Verifies Appendix A's static-gain condition (Eq. 19): the
+    /// closed-loop DC gain must be 1. For the integrator plant this holds
+    /// identically whenever `b0 + b1 ≠ 0` — the design's hidden redundancy.
+    pub fn static_gain(&self) -> f64 {
+        self.closed_loop().dc_gain()
+    }
+}
+
+/// Specification for [`design_for_integrator`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignSpec {
+    /// Desired monic closed-loop characteristic polynomial (degree 2).
+    pub clce: Poly,
+    /// The design's free parameter: the current-error weight `b0`.
+    ///
+    /// Eq. (19) of the paper is automatically satisfied for the integrator
+    /// plant, leaving one degree of freedom; the paper implicitly fixes it
+    /// at `b0 = 0.4`. Larger `b0` reacts harder to the newest error sample.
+    pub b0: f64,
+}
+
+impl DesignSpec {
+    /// Double real pole at `p`, paper default free parameter.
+    pub fn from_double_pole(p: f64) -> Self {
+        Self {
+            clce: Poly::from_real_roots(&[p, p]),
+            b0: 0.4,
+        }
+    }
+
+    /// Two (possibly distinct) real poles.
+    pub fn from_poles(p1: f64, p2: f64) -> Self {
+        Self {
+            clce: Poly::from_real_roots(&[p1, p2]),
+            b0: 0.4,
+        }
+    }
+
+    /// The paper's design: `(z − 0.7)²` and `b0 = 0.4`, which yields
+    /// exactly `b0 = 0.4, b1 = −0.31, a = −0.8`.
+    pub fn paper_default() -> Self {
+        Self::from_double_pole(0.7)
+    }
+
+    /// Overrides the free parameter.
+    pub fn with_b0(mut self, b0: f64) -> Self {
+        self.b0 = b0;
+        self
+    }
+}
+
+/// Solves Appendix A's design equations for the integrator plant.
+///
+/// Matching `(z + a)(z − 1) + (b0·z + b1) = z² + p1·z + p0` gives
+/// `a = p1 + 1 − b0` and `b1 = p0 + a`. Panics if the specification's CLCE
+/// is not a monic quadratic.
+pub fn design_for_integrator(spec: &DesignSpec) -> ControllerParams {
+    assert_eq!(spec.clce.degree(), 2, "CLCE must be quadratic");
+    let clce = spec.clce.monic();
+    let p1 = clce.coeff(1);
+    let p0 = clce.coeff(0);
+    let b0 = spec.b0;
+    let a = p1 + 1.0 - b0;
+    let b1 = p0 + a;
+    ControllerParams { a, b0, b1 }
+}
+
+/// Error from [`pole_placement`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum DesignError {
+    /// The desired characteristic polynomial has the wrong degree
+    /// (must be `deg A + controller order`).
+    DegreeMismatch {
+        /// Expected degree of the desired polynomial.
+        expected: usize,
+        /// Actual degree supplied.
+        actual: usize,
+    },
+    /// The Sylvester system was singular — plant not coprime, or the
+    /// placement is infeasible at this controller order.
+    Infeasible(SolveError),
+}
+
+impl std::fmt::Display for DesignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DesignError::DegreeMismatch { expected, actual } => write!(
+                f,
+                "desired polynomial degree {actual}, expected {expected}"
+            ),
+            DesignError::Infeasible(e) => write!(f, "placement infeasible: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DesignError {}
+
+/// General pole placement: finds controller `C = N/D` with
+/// `deg D = deg N = deg A − 1` and `D` monic such that
+/// `D·A + N·B = desired`, by solving the Sylvester linear system.
+///
+/// For a plant of order `n`, `desired` must be monic of degree `2n − 1`.
+/// This is the textbook minimal-order placement; the paper instead uses an
+/// order-`n` controller with one free parameter (see
+/// [`design_for_integrator`]), and tests verify the two agree on achieved
+/// pole locations.
+pub fn pole_placement(
+    plant: &TransferFunction,
+    desired: &Poly,
+) -> Result<TransferFunction, DesignError> {
+    let a = plant.den().monic();
+    let scale = plant.den().leading();
+    let b = plant.num().scale(1.0 / scale);
+    let n = a.degree();
+    assert!(n >= 1, "plant must be dynamic");
+    let m = n - 1; // controller order
+    let target_deg = n + m;
+    if desired.degree() != target_deg {
+        return Err(DesignError::DegreeMismatch {
+            expected: target_deg,
+            actual: desired.degree(),
+        });
+    }
+    let desired = desired.monic();
+
+    // Unknowns: d_0..d_{m-1} (D monic of degree m) and n_0..n_m.
+    // Equation: D·A + N·B = desired, matched coefficient by coefficient.
+    let unknowns = m + (m + 1);
+    let mut mat = Matrix::zeros(target_deg + 1, unknowns.max(1));
+    let mut rhs = vec![0.0; target_deg + 1];
+
+    // Contribution of the fixed monic part z^m · A.
+    for (k, r) in rhs.iter_mut().enumerate() {
+        *r = desired.coeff(k) - if k >= m { a.coeff(k - m) } else { 0.0 };
+    }
+    // Columns for d_j (j = 0..m-1): coefficient of z^{j}·A at degree k.
+    for j in 0..m {
+        for i in 0..=a.degree() {
+            mat.set(i + j, j, mat.get(i + j, j) + a.coeff(i));
+        }
+    }
+    // Columns for n_j (j = 0..m): coefficient of z^{j}·B at degree k.
+    for j in 0..=m {
+        for i in 0..=b.degree() {
+            let row = i + j;
+            let col = m + j;
+            mat.set(row, col, mat.get(row, col) + b.coeff(i));
+        }
+    }
+
+    // The system has target_deg+1 equations and `unknowns` unknowns;
+    // they are equal (2n = 2n). Solve directly.
+    debug_assert_eq!(target_deg + 1, unknowns.max(1).max(target_deg + 1));
+    let square = {
+        // Rows = target_deg+1 = 2n; unknowns = 2m+1 = 2n−1. The top row
+        // (z^{2n−1}... wait—coefficients run 0..=2n−1, i.e. 2n rows) —
+        // highest coefficient row is forced by monicity and must already
+        // match; drop it after checking.
+        let top = target_deg;
+        let resid = rhs[top];
+        if resid.abs() > 1e-9 {
+            return Err(DesignError::Infeasible(SolveError::Singular));
+        }
+        let mut sq = Matrix::zeros(target_deg, unknowns.max(1));
+        for r in 0..target_deg {
+            for c in 0..unknowns.max(1) {
+                sq.set(r, c, mat.get(r, c));
+            }
+        }
+        sq
+    };
+    let x = solve(&square, &rhs[..target_deg]).map_err(DesignError::Infeasible)?;
+
+    let mut d_coeffs: Vec<f64> = x[..m].to_vec();
+    d_coeffs.push(1.0); // monic
+    let n_coeffs: Vec<f64> = x[m..].to_vec();
+    let d_poly = Poly::new(d_coeffs);
+    let n_poly = Poly::new(n_coeffs);
+    TransferFunction::new(n_poly, d_poly)
+        .map_err(|_| DesignError::Infeasible(SolveError::Singular))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::roots;
+
+    #[test]
+    fn paper_parameters_reproduced_exactly() {
+        let params = design_for_integrator(&DesignSpec::paper_default());
+        assert!((params.b0 - 0.4).abs() < 1e-12);
+        assert!((params.b1 - (-0.31)).abs() < 1e-12);
+        assert!((params.a - (-0.8)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clce_matches_specification() {
+        let spec = DesignSpec::paper_default();
+        let params = design_for_integrator(&spec);
+        let clce = params.clce();
+        // (z − 0.7)² = z² − 1.4z + 0.49
+        assert!((clce.coeff(1) - (-1.4)).abs() < 1e-12);
+        assert!((clce.coeff(0) - 0.49).abs() < 1e-12);
+    }
+
+    #[test]
+    fn static_gain_is_one_for_any_b0() {
+        // The paper's Eq. (19) is redundant for the integrator plant:
+        // every choice of the free parameter yields unity DC gain.
+        for &b0 in &[0.1, 0.4, 0.9, 2.0] {
+            let params =
+                design_for_integrator(&DesignSpec::paper_default().with_b0(b0));
+            assert!(
+                (params.static_gain() - 1.0).abs() < 1e-9,
+                "b0 = {b0}: gain {}",
+                params.static_gain()
+            );
+        }
+    }
+
+    #[test]
+    fn all_b0_choices_share_closed_loop_poles() {
+        let reference = design_for_integrator(&DesignSpec::paper_default());
+        for &b0 in &[0.2, 0.6, 1.1] {
+            let other =
+                design_for_integrator(&DesignSpec::paper_default().with_b0(b0));
+            let pr = reference.closed_loop().poles();
+            let po = other.closed_loop().poles();
+            for (x, y) in pr.iter().zip(po.iter()) {
+                assert!((x.abs() - y.abs()).abs() < 1e-7);
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_pole_design() {
+        let spec = DesignSpec::from_poles(0.5, 0.8);
+        let params = design_for_integrator(&spec);
+        let poles = params.closed_loop().poles();
+        let mut mags: Vec<f64> = poles.iter().map(|p| p.re).collect();
+        mags.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((mags[0] - 0.5).abs() < 1e-7);
+        assert!((mags[1] - 0.8).abs() < 1e-7);
+    }
+
+    #[test]
+    fn closed_loop_is_stable_for_stable_specs() {
+        for &p in &[0.0, 0.3, 0.7, 0.95] {
+            let params = design_for_integrator(&DesignSpec::from_double_pole(p));
+            assert!(params.closed_loop().is_stable(), "pole {p}");
+        }
+    }
+
+    #[test]
+    fn unstable_spec_produces_unstable_loop() {
+        // Garbage in, garbage out — but predictably so.
+        let params = design_for_integrator(&DesignSpec::from_double_pole(1.1));
+        assert!(!params.closed_loop().is_stable());
+    }
+
+    #[test]
+    fn general_placement_on_first_order_plant() {
+        // Plant 1/(z−1): minimal controller is a pure gain; CLCE degree 1.
+        let plant = TransferFunction::integrator(1.0);
+        let desired = Poly::from_real_roots(&[0.7]);
+        let c = pole_placement(&plant, &desired).unwrap();
+        // (z − 1) + n0 = z − 0.7 → n0 = 0.3
+        assert_eq!(c.den().degree(), 0);
+        assert!((c.num().coeff(0) - 0.3).abs() < 1e-9);
+        let cl = plant.series(&c).close_unity_feedback();
+        let poles = cl.poles();
+        assert!((poles[0].re - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn general_placement_on_second_order_plant() {
+        // Plant B/A with A = (z−1)(z−0.9), B = 0.2z + 0.1.
+        let a = &Poly::new(vec![-1.0, 1.0]) * &Poly::new(vec![-0.9, 1.0]);
+        let b = Poly::new(vec![0.1, 0.2]);
+        let plant = TransferFunction::new(b, a).unwrap();
+        let desired = Poly::from_real_roots(&[0.5, 0.6, 0.7]);
+        let c = pole_placement(&plant, &desired).unwrap();
+        let cl = plant.series(&c).close_unity_feedback();
+        let mut achieved: Vec<f64> = roots::real_roots(cl.den(), 1e-6);
+        achieved.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        assert_eq!(achieved.len(), 3);
+        for (got, want) in achieved.iter().zip([0.5, 0.6, 0.7]) {
+            assert!((got - want).abs() < 1e-6, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn general_placement_rejects_wrong_degree() {
+        let plant = TransferFunction::integrator(1.0);
+        let desired = Poly::from_real_roots(&[0.7, 0.7]);
+        assert!(matches!(
+            pole_placement(&plant, &desired),
+            Err(DesignError::DegreeMismatch { .. })
+        ));
+    }
+}

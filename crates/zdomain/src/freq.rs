@@ -1,0 +1,192 @@
+//! Frequency-domain analysis: Bode data, sensitivity functions, and
+//! stability margins for the closed loop.
+//!
+//! §4.3.1 argues closed-loop disturbance rejection improves with loop
+//! gain (`y ≈ r + di/K + do/K`); these tools make the claim quantitative:
+//! the sensitivity `S = 1/(1+CG)` *is* the factor by which disturbances
+//! are attenuated at each frequency.
+
+use crate::complex::Complex;
+use crate::tf::TransferFunction;
+use serde::{Deserialize, Serialize};
+
+/// One row of Bode data at a normalised frequency (rad/sample).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BodePoint {
+    /// Frequency, rad/sample, in `(0, π]`.
+    pub omega: f64,
+    /// Magnitude, absolute (not dB).
+    pub magnitude: f64,
+    /// Magnitude in decibels.
+    pub magnitude_db: f64,
+    /// Phase, radians.
+    pub phase: f64,
+}
+
+/// Samples the frequency response at `n` log-spaced frequencies in
+/// `[omega_min, π]`.
+pub fn bode(tf: &TransferFunction, omega_min: f64, n: usize) -> Vec<BodePoint> {
+    assert!(omega_min > 0.0 && omega_min < std::f64::consts::PI);
+    assert!(n >= 2);
+    let ratio = (std::f64::consts::PI / omega_min).powf(1.0 / (n - 1) as f64);
+    (0..n)
+        .map(|i| {
+            let omega = omega_min * ratio.powi(i as i32);
+            let h = tf.freq_response(omega);
+            BodePoint {
+                omega,
+                magnitude: h.abs(),
+                magnitude_db: 20.0 * h.abs().log10(),
+                phase: h.arg(),
+            }
+        })
+        .collect()
+}
+
+/// The sensitivity function `S(z) = 1 / (1 + L(z))` of a loop `L = C·G`:
+/// output-disturbance → output. `|S| < 1` marks the frequencies at which
+/// feedback *attenuates* disturbances.
+pub fn sensitivity(open_loop: &TransferFunction) -> TransferFunction {
+    // 1/(1+L) = D / (D + N)
+    TransferFunction::new(
+        open_loop.den().clone(),
+        open_loop.den() + open_loop.num(),
+    )
+    .expect("sensitivity of a proper loop is proper")
+}
+
+/// The complementary sensitivity `T(z) = L/(1+L)` (reference → output).
+pub fn complementary_sensitivity(open_loop: &TransferFunction) -> TransferFunction {
+    open_loop.close_unity_feedback()
+}
+
+/// Classical stability margins of an open loop.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Margins {
+    /// Gain margin (absolute factor; `INFINITY` if the phase never
+    /// crosses −180°).
+    pub gain_margin: f64,
+    /// Phase margin, radians (`NAN` if the gain never crosses 1).
+    pub phase_margin: f64,
+    /// Gain-crossover frequency, rad/sample (`NAN` if none).
+    pub crossover: f64,
+}
+
+/// Estimates gain/phase margins by dense frequency sweep.
+pub fn margins(open_loop: &TransferFunction) -> Margins {
+    let n = 20_000;
+    let mut gain_margin = f64::INFINITY;
+    let mut phase_margin = f64::NAN;
+    let mut crossover = f64::NAN;
+    let mut prev: Option<(f64, Complex)> = None;
+    for i in 1..=n {
+        let omega = std::f64::consts::PI * i as f64 / n as f64;
+        let h = open_loop.freq_response(omega);
+        if let Some((pomega, ph)) = prev {
+            // Phase crossing of −π (where imag changes sign with real < 0).
+            if ph.im.signum() != h.im.signum() && (h.re < 0.0 || ph.re < 0.0) {
+                let mag = h.abs().min(ph.abs());
+                if mag > 1e-12 {
+                    gain_margin = gain_margin.min(1.0 / mag);
+                }
+            }
+            // Gain crossover |L| = 1.
+            let (m0, m1) = (ph.abs(), h.abs());
+            if (m0 - 1.0) * (m1 - 1.0) <= 0.0 && m0 != m1 {
+                let t = (1.0 - m0) / (m1 - m0);
+                let w = pomega + t * (omega - pomega);
+                if crossover.is_nan() {
+                    crossover = w;
+                    let phase = h.arg();
+                    phase_margin = std::f64::consts::PI + phase;
+                }
+            }
+        }
+        prev = Some((omega, h));
+    }
+    Margins {
+        gain_margin,
+        phase_margin,
+        crossover,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::ControllerParams;
+    use crate::poly::Poly;
+
+    fn paper_open_loop() -> TransferFunction {
+        ControllerParams::PAPER
+            .transfer_function()
+            .series(&TransferFunction::integrator(1.0))
+    }
+
+    #[test]
+    fn bode_is_log_spaced_and_finite() {
+        let pts = bode(&paper_open_loop(), 1e-3, 50);
+        assert_eq!(pts.len(), 50);
+        assert!(pts.windows(2).all(|w| w[1].omega > w[0].omega));
+        assert!((pts.last().unwrap().omega - std::f64::consts::PI).abs() < 1e-9);
+        assert!(pts.iter().all(|p| p.magnitude.is_finite()));
+    }
+
+    #[test]
+    fn integrator_loop_has_high_gain_at_low_freq() {
+        // §4.3.1: large K ⇒ disturbances divided by K. The integrator
+        // gives unbounded DC gain.
+        let pts = bode(&paper_open_loop(), 1e-4, 10);
+        assert!(pts[0].magnitude > 100.0, "low-freq gain {}", pts[0].magnitude);
+    }
+
+    #[test]
+    fn sensitivity_small_at_low_freq_one_at_high() {
+        let s = sensitivity(&paper_open_loop());
+        let low = s.freq_response(1e-4).abs();
+        let high = s.freq_response(std::f64::consts::PI).abs();
+        assert!(low < 0.01, "low-frequency sensitivity {low}");
+        assert!(high > 0.3 && high < 3.0, "high-frequency sensitivity {high}");
+    }
+
+    #[test]
+    fn s_plus_t_equals_one() {
+        let l = paper_open_loop();
+        let s = sensitivity(&l);
+        let t = complementary_sensitivity(&l);
+        for &omega in &[0.01, 0.1, 1.0, 3.0] {
+            let sum = s.freq_response(omega) + t.freq_response(omega);
+            assert!((sum - crate::complex::Complex::ONE).abs() < 1e-9, "ω = {omega}");
+        }
+    }
+
+    #[test]
+    fn sensitivity_poles_match_closed_loop() {
+        let s = sensitivity(&paper_open_loop());
+        for p in s.poles() {
+            assert!((p.re - 0.7).abs() < 1e-6 && p.im.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn paper_loop_has_healthy_margins() {
+        let m = margins(&paper_open_loop());
+        assert!(m.crossover.is_finite() && m.crossover > 0.0);
+        // Phase margin comfortably positive (critically damped design).
+        assert!(
+            m.phase_margin > 0.5,
+            "phase margin {} rad",
+            m.phase_margin
+        );
+        assert!(m.gain_margin > 1.5, "gain margin {}", m.gain_margin);
+    }
+
+    #[test]
+    fn margins_of_pure_gain_loop() {
+        // L = 0.5: never crosses unity gain, no phase crossover.
+        let l = TransferFunction::new(Poly::constant(0.5), Poly::constant(1.0)).unwrap();
+        let m = margins(&l);
+        assert!(m.crossover.is_nan());
+        assert!(m.gain_margin.is_infinite() || m.gain_margin > 1.0);
+    }
+}

@@ -1,0 +1,172 @@
+//! The Jury stability criterion: an *analytic* Schur–Cohn test for
+//! discrete-time characteristic polynomials, requiring no root finding.
+//!
+//! Used to cross-check the root-based `TransferFunction::is_stable`
+//! (property tests verify the two always agree) and to give closed-form
+//! stability margins for controller-parameter sweeps.
+
+use crate::poly::Poly;
+
+/// Outcome of the Jury test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stability {
+    /// All roots strictly inside the unit circle.
+    Stable,
+    /// At least one root on or outside the unit circle.
+    Unstable,
+    /// The test degenerated (a leading array element vanished —
+    /// roots exactly on the unit circle); resolve with root finding.
+    Marginal,
+}
+
+/// Applies the Jury criterion to a polynomial (in `z`, ascending
+/// coefficients). Constants are trivially stable.
+pub fn jury_test(p: &Poly) -> Stability {
+    let n = p.degree();
+    if n == 0 {
+        return Stability::Stable;
+    }
+    // Normalise so the leading coefficient is positive.
+    let mut a: Vec<f64> = p.coeffs().to_vec();
+    if a[n] < 0.0 {
+        for c in a.iter_mut() {
+            *c = -*c;
+        }
+    }
+
+    // Necessary conditions: P(1) > 0 and (−1)ⁿ·P(−1) > 0.
+    let p1: f64 = a.iter().sum();
+    let pm1: f64 = a
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| if i % 2 == 0 { c } else { -c })
+        .sum();
+    let pm1_signed = if n.is_multiple_of(2) { pm1 } else { -pm1 };
+    const EPS: f64 = 1e-12;
+    if p1.abs() <= EPS || pm1_signed.abs() <= EPS {
+        return Stability::Marginal;
+    }
+    if p1 < 0.0 || pm1_signed < 0.0 {
+        return Stability::Unstable;
+    }
+    // |a0| < a_n.
+    if a[0].abs() >= a[n] - EPS {
+        return if (a[0].abs() - a[n]).abs() <= EPS {
+            Stability::Marginal
+        } else {
+            Stability::Unstable
+        };
+    }
+
+    // Jury table reduction: b_k = a_0·a_k − a_n·a_{n−k}, iterate until
+    // order 2.
+    let mut row = a;
+    while row.len() > 3 {
+        let m = row.len() - 1;
+        let mut next = Vec::with_capacity(m);
+        for k in 0..m {
+            next.push(row[0] * row[k] - row[m] * row[m - k]);
+        }
+        // Constraint per stage: |b_0| > |b_{m−1}|.
+        let b0 = next[0].abs();
+        let blast = next[m - 1].abs();
+        if (b0 - blast).abs() <= EPS * b0.max(1.0) {
+            return Stability::Marginal;
+        }
+        if b0 < blast {
+            return Stability::Unstable;
+        }
+        next.reverse(); // keep |leading| largest at the high end
+        row = next;
+    }
+    Stability::Stable
+}
+
+/// Convenience: `true` iff the polynomial passes the Jury test strictly.
+pub fn is_schur_stable(p: &Poly) -> bool {
+    jury_test(p) == Stability::Stable
+}
+
+/// For the paper's closed loop with parameters `(a, b0, b1)`, the CLCE is
+/// `z² + (a − 1 + b0)·z + (b1 − a)`. Returns its Jury verdict — a cheap
+/// analytic guard a deployment can evaluate before accepting retuned
+/// controller parameters.
+pub fn clce_stability(a: f64, b0: f64, b1: f64) -> Stability {
+    jury_test(&Poly::new(vec![b1 - a, a - 1.0 + b0, 1.0]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stable_second_order() {
+        // (z − 0.7)²: the paper's CLCE.
+        let p = Poly::from_real_roots(&[0.7, 0.7]);
+        assert_eq!(jury_test(&p), Stability::Stable);
+    }
+
+    #[test]
+    fn unstable_second_order() {
+        let p = Poly::from_real_roots(&[1.2, 0.3]);
+        assert_eq!(jury_test(&p), Stability::Unstable);
+    }
+
+    #[test]
+    fn marginal_integrator() {
+        // z − 1: root exactly on the circle.
+        let p = Poly::new(vec![-1.0, 1.0]);
+        assert_ne!(jury_test(&p), Stability::Stable);
+    }
+
+    #[test]
+    fn higher_order_stable() {
+        let p = Poly::from_real_roots(&[0.1, -0.4, 0.8, 0.6, -0.2]);
+        assert_eq!(jury_test(&p), Stability::Stable);
+    }
+
+    #[test]
+    fn higher_order_unstable_complex() {
+        // Complex pair outside the circle: |0.8 ± 0.8i| ≈ 1.13.
+        use crate::complex::Complex;
+        let pair = Poly::from_complex_roots(
+            &[Complex::new(0.8, 0.8), Complex::new(0.8, -0.8)],
+            1e-9,
+        );
+        let p = &pair * &Poly::from_real_roots(&[0.2]);
+        assert_eq!(jury_test(&p), Stability::Unstable);
+    }
+
+    #[test]
+    fn constants_and_linears() {
+        assert_eq!(jury_test(&Poly::constant(3.0)), Stability::Stable);
+        assert_eq!(jury_test(&Poly::from_real_roots(&[0.5])), Stability::Stable);
+        assert_eq!(jury_test(&Poly::from_real_roots(&[-1.5])), Stability::Unstable);
+    }
+
+    #[test]
+    fn negative_leading_coefficient_normalised() {
+        let p = Poly::from_real_roots(&[0.5, -0.5]).scale(-2.0);
+        assert_eq!(jury_test(&p), Stability::Stable);
+    }
+
+    #[test]
+    fn paper_parameters_pass() {
+        assert_eq!(clce_stability(-0.8, 0.4, -0.31), Stability::Stable);
+        // A destabilising retune: poles pushed outside.
+        assert_eq!(clce_stability(-0.8, -1.6, 1.0), Stability::Unstable);
+    }
+
+    #[test]
+    fn agrees_with_root_finding_on_grid() {
+        use crate::roots::spectral_radius;
+        for &r1 in &[-1.3, -0.9, -0.2, 0.4, 0.95, 1.1] {
+            for &r2 in &[-0.8, 0.0, 0.7, 1.05] {
+                let p = Poly::from_real_roots(&[r1, r2]);
+                let by_roots = spectral_radius(&p) < 1.0 - 1e-9;
+                let by_jury = is_schur_stable(&p);
+                assert_eq!(by_jury, by_roots, "roots {r1}, {r2}");
+            }
+        }
+    }
+}

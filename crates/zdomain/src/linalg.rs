@@ -1,0 +1,199 @@
+//! Tiny dense linear algebra: just enough to solve the Diophantine systems
+//! that arise in pole placement (a handful of unknowns).
+
+/// A dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "dimension mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+}
+
+/// Error from [`solve`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveError {
+    /// The matrix is singular (or numerically so) — no unique solution.
+    Singular,
+    /// Dimension mismatch between matrix and right-hand side.
+    DimensionMismatch,
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::Singular => write!(f, "matrix is singular to working precision"),
+            SolveError::DimensionMismatch => write!(f, "matrix/vector dimension mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// Solves the square system `A·x = b` by Gaussian elimination with partial
+/// pivoting. `A` is consumed as a working copy.
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, SolveError> {
+    let n = a.rows();
+    if a.cols() != n || b.len() != n {
+        return Err(SolveError::DimensionMismatch);
+    }
+    let mut m = a.clone();
+    let mut rhs = b.to_vec();
+
+    for col in 0..n {
+        // Partial pivot: largest magnitude in this column at/below diagonal.
+        let pivot_row = (col..n)
+            .max_by(|&i, &j| {
+                m.get(i, col)
+                    .abs()
+                    .partial_cmp(&m.get(j, col).abs())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("non-empty range");
+        let pivot = m.get(pivot_row, col);
+        if pivot.abs() < 1e-300 {
+            return Err(SolveError::Singular);
+        }
+        if pivot_row != col {
+            for c in 0..n {
+                let tmp = m.get(col, c);
+                m.set(col, c, m.get(pivot_row, c));
+                m.set(pivot_row, c, tmp);
+            }
+            rhs.swap(col, pivot_row);
+        }
+        // Eliminate below.
+        for row in (col + 1)..n {
+            let factor = m.get(row, col) / m.get(col, col);
+            if factor == 0.0 {
+                continue;
+            }
+            for c in col..n {
+                let v = m.get(row, c) - factor * m.get(col, c);
+                m.set(row, c, v);
+            }
+            rhs[row] -= factor * rhs[col];
+        }
+    }
+
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = rhs[row];
+        for (c, xc) in x.iter().enumerate().take(n).skip(row + 1) {
+            acc -= m.get(row, c) * xc;
+        }
+        let diag = m.get(row, row);
+        if diag.abs() < 1e-300 {
+            return Err(SolveError::Singular);
+        }
+        x[row] = acc / diag;
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let mut a = Matrix::zeros(3, 3);
+        for i in 0..3 {
+            a.set(i, i, 1.0);
+        }
+        let x = solve(&a, &[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn solves_general_system() {
+        // 2x + y = 5 ; x - y = 1 → x = 2, y = 1
+        let a = Matrix::from_rows(2, 2, vec![2.0, 1.0, 1.0, -1.0]);
+        let x = solve(&a, &[5.0, 1.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        // First diagonal entry zero — requires a row swap.
+        let a = Matrix::from_rows(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        let x = solve(&a, &[3.0, 4.0]).unwrap();
+        assert!((x[0] - 4.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detects_singular() {
+        let a = Matrix::from_rows(2, 2, vec![1.0, 2.0, 2.0, 4.0]);
+        assert_eq!(solve(&a, &[1.0, 2.0]), Err(SolveError::Singular));
+    }
+
+    #[test]
+    fn detects_dimension_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        assert_eq!(solve(&a, &[1.0, 2.0]), Err(SolveError::DimensionMismatch));
+    }
+
+    #[test]
+    fn residual_is_small_for_ill_conditioned() {
+        // Hilbert-like 4×4: solvable but poorly conditioned.
+        let n = 4;
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                a.set(i, j, 1.0 / ((i + j + 1) as f64));
+            }
+        }
+        let b: Vec<f64> = (0..n).map(|i| (i + 1) as f64).collect();
+        let x = solve(&a, &b).unwrap();
+        for (i, bi) in b.iter().enumerate() {
+            let acc: f64 = x
+                .iter()
+                .enumerate()
+                .map(|(j, xj)| a.get(i, j) * xj)
+                .sum();
+            assert!((acc - bi).abs() < 1e-7, "row {i} residual");
+        }
+    }
+}

@@ -1,0 +1,373 @@
+//! Real-coefficient polynomials.
+//!
+//! Coefficients are stored in **ascending** order of degree:
+//! `Poly::new(vec![c0, c1, c2])` represents `c0 + c1·z + c2·z²`.
+
+use crate::complex::Complex;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A polynomial over ℝ with `f64` coefficients in ascending degree order.
+///
+/// The zero polynomial is represented by an empty coefficient vector (its
+/// degree is reported as 0 for convenience). Trailing (highest-degree) zero
+/// coefficients are trimmed on construction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Poly {
+    coeffs: Vec<f64>,
+}
+
+impl Poly {
+    /// Creates a polynomial from ascending-degree coefficients, trimming
+    /// trailing zeros.
+    pub fn new(mut coeffs: Vec<f64>) -> Self {
+        while coeffs.len() > 1 && coeffs.last() == Some(&0.0) {
+            coeffs.pop();
+        }
+        if coeffs.is_empty() {
+            coeffs.push(0.0);
+        }
+        Self { coeffs }
+    }
+
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Self { coeffs: vec![0.0] }
+    }
+
+    /// The constant polynomial `c`.
+    pub fn constant(c: f64) -> Self {
+        Self::new(vec![c])
+    }
+
+    /// The monomial `z`.
+    pub fn z() -> Self {
+        Self::new(vec![0.0, 1.0])
+    }
+
+    /// Builds the monic polynomial with the given real roots:
+    /// `∏ (z − rᵢ)`.
+    pub fn from_real_roots(roots: &[f64]) -> Self {
+        let mut p = Self::constant(1.0);
+        for &r in roots {
+            p = &p * &Self::new(vec![-r, 1.0]);
+        }
+        p
+    }
+
+    /// Builds a real polynomial from complex roots. Complex roots must come
+    /// in conjugate pairs (within `tol`); each pair contributes a real
+    /// quadratic factor. Panics if an unpaired complex root remains.
+    pub fn from_complex_roots(roots: &[Complex], tol: f64) -> Self {
+        let mut remaining: Vec<Complex> = roots.to_vec();
+        let mut p = Self::constant(1.0);
+        while let Some(r) = remaining.pop() {
+            if r.is_approx_real(tol) {
+                p = &p * &Self::new(vec![-r.re, 1.0]);
+            } else {
+                // Find and consume the conjugate partner.
+                let idx = remaining
+                    .iter()
+                    .position(|c| (*c - r.conj()).abs() <= tol * r.abs().max(1.0))
+                    .expect("complex roots must come in conjugate pairs");
+                remaining.swap_remove(idx);
+                // (z - r)(z - r̄) = z² - 2·Re(r)·z + |r|²
+                p = &p * &Self::new(vec![r.norm_sqr(), -2.0 * r.re, 1.0]);
+            }
+        }
+        p
+    }
+
+    /// Degree of the polynomial (0 for constants, including zero).
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.coeffs.len() - 1
+    }
+
+    /// Coefficient of `z^i`, or 0 beyond the degree.
+    #[inline]
+    pub fn coeff(&self, i: usize) -> f64 {
+        self.coeffs.get(i).copied().unwrap_or(0.0)
+    }
+
+    /// All coefficients in ascending degree order.
+    #[inline]
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Leading (highest-degree) coefficient.
+    #[inline]
+    pub fn leading(&self) -> f64 {
+        *self.coeffs.last().expect("coeffs is never empty")
+    }
+
+    /// `true` if this is the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.iter().all(|&c| c == 0.0)
+    }
+
+    /// Evaluates at a real point using Horner's method.
+    pub fn eval(&self, x: f64) -> f64 {
+        self.coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+    }
+
+    /// Evaluates at a complex point using Horner's method.
+    pub fn eval_complex(&self, z: Complex) -> Complex {
+        self.coeffs
+            .iter()
+            .rev()
+            .fold(Complex::ZERO, |acc, &c| acc * z + Complex::real(c))
+    }
+
+    /// Formal derivative.
+    pub fn derivative(&self) -> Poly {
+        if self.degree() == 0 {
+            return Poly::zero();
+        }
+        let coeffs = self
+            .coeffs
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(|(i, &c)| c * i as f64)
+            .collect();
+        Poly::new(coeffs)
+    }
+
+    /// Divides by the leading coefficient, making the polynomial monic.
+    /// Panics if the polynomial is zero.
+    pub fn monic(&self) -> Poly {
+        let lead = self.leading();
+        assert!(lead != 0.0, "cannot normalise the zero polynomial");
+        Poly::new(self.coeffs.iter().map(|c| c / lead).collect())
+    }
+
+    /// Multiplies every coefficient by a scalar.
+    pub fn scale(&self, s: f64) -> Poly {
+        Poly::new(self.coeffs.iter().map(|c| c * s).collect())
+    }
+
+    /// Polynomial long division, returning `(quotient, remainder)`.
+    /// Panics if the divisor is zero.
+    pub fn div_rem(&self, divisor: &Poly) -> (Poly, Poly) {
+        assert!(!divisor.is_zero(), "division by the zero polynomial");
+        if self.degree() < divisor.degree() {
+            return (Poly::zero(), self.clone());
+        }
+        let mut rem = self.coeffs.clone();
+        let dlead = divisor.leading();
+        let ddeg = divisor.degree();
+        let qdeg = self.degree() - ddeg;
+        let mut q = vec![0.0; qdeg + 1];
+        for i in (0..=qdeg).rev() {
+            let factor = rem[i + ddeg] / dlead;
+            q[i] = factor;
+            for (j, &dc) in divisor.coeffs.iter().enumerate() {
+                rem[i + j] -= factor * dc;
+            }
+        }
+        rem.truncate(ddeg.max(1));
+        (Poly::new(q), Poly::new(rem))
+    }
+
+    /// Returns `self` shifted up by `n` degrees (multiplication by `zⁿ`).
+    pub fn shift_up(&self, n: usize) -> Poly {
+        if self.is_zero() {
+            return Poly::zero();
+        }
+        let mut coeffs = vec![0.0; n];
+        coeffs.extend_from_slice(&self.coeffs);
+        Poly::new(coeffs)
+    }
+
+    /// Sum of all coefficients — the value at `z = 1`; useful for static
+    /// (DC) gain computations.
+    pub fn sum(&self) -> f64 {
+        self.coeffs.iter().sum()
+    }
+}
+
+impl Add for &Poly {
+    type Output = Poly;
+    fn add(self, rhs: &Poly) -> Poly {
+        let n = self.coeffs.len().max(rhs.coeffs.len());
+        let coeffs = (0..n).map(|i| self.coeff(i) + rhs.coeff(i)).collect();
+        Poly::new(coeffs)
+    }
+}
+
+impl Sub for &Poly {
+    type Output = Poly;
+    fn sub(self, rhs: &Poly) -> Poly {
+        let n = self.coeffs.len().max(rhs.coeffs.len());
+        let coeffs = (0..n).map(|i| self.coeff(i) - rhs.coeff(i)).collect();
+        Poly::new(coeffs)
+    }
+}
+
+impl Mul for &Poly {
+    type Output = Poly;
+    fn mul(self, rhs: &Poly) -> Poly {
+        if self.is_zero() || rhs.is_zero() {
+            return Poly::zero();
+        }
+        let mut coeffs = vec![0.0; self.degree() + rhs.degree() + 1];
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            if a == 0.0 {
+                continue;
+            }
+            for (j, &b) in rhs.coeffs.iter().enumerate() {
+                coeffs[i + j] += a * b;
+            }
+        }
+        Poly::new(coeffs)
+    }
+}
+
+impl Neg for &Poly {
+    type Output = Poly;
+    fn neg(self) -> Poly {
+        self.scale(-1.0)
+    }
+}
+
+impl fmt::Display for Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (i, &c) in self.coeffs.iter().enumerate().rev() {
+            if c == 0.0 && self.degree() > 0 {
+                continue;
+            }
+            if !first {
+                write!(f, " {} ", if c >= 0.0 { "+" } else { "-" })?;
+            } else if c < 0.0 {
+                write!(f, "-")?;
+            }
+            let mag = c.abs();
+            match i {
+                0 => write!(f, "{mag}")?,
+                1 => {
+                    if mag == 1.0 {
+                        write!(f, "z")?
+                    } else {
+                        write!(f, "{mag}z")?
+                    }
+                }
+                _ => {
+                    if mag == 1.0 {
+                        write!(f, "z^{i}")?
+                    } else {
+                        write!(f, "{mag}z^{i}")?
+                    }
+                }
+            }
+            first = false;
+        }
+        if first {
+            write!(f, "0")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_trims_trailing_zeros() {
+        let p = Poly::new(vec![1.0, 2.0, 0.0, 0.0]);
+        assert_eq!(p.degree(), 1);
+        assert_eq!(p.coeffs(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn eval_horner() {
+        // 2 - 3z + z²  at z=4 → 2 - 12 + 16 = 6
+        let p = Poly::new(vec![2.0, -3.0, 1.0]);
+        assert_eq!(p.eval(4.0), 6.0);
+        let z = Complex::new(4.0, 0.0);
+        assert!((p.eval_complex(z).re - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_real_roots_expands() {
+        // (z-1)(z-2) = z² - 3z + 2
+        let p = Poly::from_real_roots(&[1.0, 2.0]);
+        assert_eq!(p.coeffs(), &[2.0, -3.0, 1.0]);
+    }
+
+    #[test]
+    fn from_complex_roots_conjugate_pair() {
+        // roots 0.5 ± 0.5i → z² - z + 0.5
+        let r = Complex::new(0.5, 0.5);
+        let p = Poly::from_complex_roots(&[r, r.conj()], 1e-9);
+        assert!((p.coeff(2) - 1.0).abs() < 1e-12);
+        assert!((p.coeff(1) + 1.0).abs() < 1e-12);
+        assert!((p.coeff(0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "conjugate pairs")]
+    fn from_complex_roots_rejects_unpaired() {
+        let _ = Poly::from_complex_roots(&[Complex::new(0.5, 0.5)], 1e-9);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Poly::new(vec![1.0, 1.0]); // 1 + z
+        let b = Poly::new(vec![-1.0, 1.0]); // -1 + z
+        assert_eq!((&a + &b).coeffs(), &[0.0, 2.0]);
+        assert_eq!((&a - &b).coeffs(), &[2.0]);
+        assert_eq!((&a * &b).coeffs(), &[-1.0, 0.0, 1.0]); // z² - 1
+    }
+
+    #[test]
+    fn derivative_rules() {
+        // d/dz (2 + 3z + 4z³) = 3 + 12z²
+        let p = Poly::new(vec![2.0, 3.0, 0.0, 4.0]);
+        assert_eq!(p.derivative().coeffs(), &[3.0, 0.0, 12.0]);
+        assert!(Poly::constant(7.0).derivative().is_zero());
+    }
+
+    #[test]
+    fn div_rem_reconstructs() {
+        let n = Poly::new(vec![1.0, 0.0, -2.0, 1.0]); // z³ - 2z² + 1
+        let d = Poly::new(vec![-1.0, 1.0]); // z - 1
+        let (q, r) = n.div_rem(&d);
+        let back = &(&q * &d) + &r;
+        for i in 0..=n.degree() {
+            assert!((back.coeff(i) - n.coeff(i)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn div_rem_degenerate() {
+        let n = Poly::constant(3.0);
+        let d = Poly::new(vec![0.0, 1.0]);
+        let (q, r) = n.div_rem(&d);
+        assert!(q.is_zero());
+        assert_eq!(r.coeffs(), &[3.0]);
+    }
+
+    #[test]
+    fn monic_normalises() {
+        let p = Poly::new(vec![2.0, 4.0]).monic();
+        assert_eq!(p.coeffs(), &[0.5, 1.0]);
+    }
+
+    #[test]
+    fn shift_up_multiplies_by_z_powers() {
+        let p = Poly::new(vec![1.0, 2.0]);
+        assert_eq!(p.shift_up(2).coeffs(), &[0.0, 0.0, 1.0, 2.0]);
+        assert!(Poly::zero().shift_up(3).is_zero());
+    }
+
+    #[test]
+    fn display_formats() {
+        let p = Poly::new(vec![0.49, -1.4, 1.0]);
+        assert_eq!(format!("{p}"), "z^2 - 1.4z + 0.49");
+    }
+}

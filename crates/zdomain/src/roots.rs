@@ -1,0 +1,260 @@
+//! Polynomial root finding.
+//!
+//! Closed forms handle degrees 1–2; higher degrees use the
+//! Durand–Kerner (Weierstrass) simultaneous iteration, which is simple,
+//! derivative-free, and more than accurate enough for the low-degree
+//! characteristic polynomials that arise in controller analysis.
+
+use crate::complex::Complex;
+use crate::poly::Poly;
+
+/// Maximum Durand–Kerner iterations before giving up.
+const MAX_ITERS: usize = 500;
+/// Convergence tolerance on the largest per-root update.
+const TOL: f64 = 1e-13;
+
+/// Finds all complex roots of `p`.
+///
+/// Returns an empty vector for constant polynomials. Roots of real
+/// polynomials come back in no particular order; conjugate symmetry is
+/// enforced as a post-processing step so downstream pairing is exact.
+pub fn roots(p: &Poly) -> Vec<Complex> {
+    let p = trim_leading(p);
+    match p.degree() {
+        0 => Vec::new(),
+        1 => vec![Complex::real(-p.coeff(0) / p.coeff(1))],
+        2 => quadratic_roots(p.coeff(0), p.coeff(1), p.coeff(2)),
+        _ => durand_kerner(&p.monic()),
+    }
+}
+
+/// Returns only the real roots (imaginary part below `tol`).
+pub fn real_roots(p: &Poly, tol: f64) -> Vec<f64> {
+    roots(p)
+        .into_iter()
+        .filter(|r| r.is_approx_real(tol))
+        .map(|r| r.re)
+        .collect()
+}
+
+/// Largest root magnitude — the spectral radius of the companion matrix.
+/// Returns 0 for constants.
+pub fn spectral_radius(p: &Poly) -> f64 {
+    roots(p).iter().map(|r| r.abs()).fold(0.0, f64::max)
+}
+
+fn trim_leading(p: &Poly) -> Poly {
+    // `Poly::new` already trims; clone for a uniform owned value.
+    Poly::new(p.coeffs().to_vec())
+}
+
+/// Stable quadratic formula (avoids catastrophic cancellation).
+fn quadratic_roots(c0: f64, c1: f64, c2: f64) -> Vec<Complex> {
+    debug_assert!(c2 != 0.0);
+    let (a, b, c) = (c2, c1, c0);
+    let mut disc = b * b - 4.0 * a * c;
+    // Snap a rounding-error-sized discriminant to zero so double real
+    // roots (e.g. the paper's (z − 0.7)²) do not come out faintly complex.
+    let scale = b * b + (4.0 * a * c).abs();
+    if disc.abs() <= 1e-12 * scale {
+        disc = 0.0;
+    }
+    if disc >= 0.0 {
+        let sq = disc.sqrt();
+        // q = -(b + sign(b)·sqrt(disc)) / 2 ; roots are q/a and c/q.
+        let q = -0.5 * (b + b.signum() * sq);
+        if q == 0.0 {
+            // b == 0 and disc == 0 → double root at 0... or both zero.
+            let r = Complex::real(0.0);
+            return vec![r, r];
+        }
+        vec![Complex::real(q / a), Complex::real(c / q)]
+    } else {
+        let re = -b / (2.0 * a);
+        let im = (-disc).sqrt() / (2.0 * a);
+        vec![Complex::new(re, im), Complex::new(re, -im)]
+    }
+}
+
+/// Durand–Kerner iteration on a monic polynomial of degree ≥ 3.
+fn durand_kerner(p: &Poly) -> Vec<Complex> {
+    let n = p.degree();
+    // Initial guesses: points on a circle whose radius bounds the roots
+    // (Cauchy bound), with an irrational angle offset to break symmetry.
+    let radius = cauchy_bound(p);
+    let mut xs: Vec<Complex> = (0..n)
+        .map(|i| {
+            let theta = 2.0 * std::f64::consts::PI * i as f64 / n as f64 + 0.4;
+            Complex::from_polar(radius.max(0.5), theta)
+        })
+        .collect();
+
+    for _ in 0..MAX_ITERS {
+        let mut max_step = 0.0_f64;
+        for i in 0..n {
+            let xi = xs[i];
+            let mut denom = Complex::ONE;
+            for (j, &xj) in xs.iter().enumerate() {
+                if j != i {
+                    denom *= xi - xj;
+                }
+            }
+            let delta = p.eval_complex(xi) / denom;
+            xs[i] = xi - delta;
+            max_step = max_step.max(delta.abs());
+        }
+        if max_step < TOL {
+            break;
+        }
+    }
+    enforce_conjugate_symmetry(&mut xs);
+    xs
+}
+
+/// Cauchy's bound: all roots satisfy |z| ≤ 1 + max|cᵢ / c_n|.
+fn cauchy_bound(p: &Poly) -> f64 {
+    let lead = p.leading().abs();
+    1.0 + p.coeffs()[..p.degree()]
+        .iter()
+        .map(|c| (c / lead).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Snaps nearly-real roots to the real axis and pairs the rest into exact
+/// conjugates, so that `Poly::from_complex_roots` round-trips.
+fn enforce_conjugate_symmetry(xs: &mut [Complex]) {
+    const REAL_TOL: f64 = 1e-8;
+    for x in xs.iter_mut() {
+        if x.is_approx_real(REAL_TOL) {
+            x.im = 0.0;
+        }
+    }
+    let n = xs.len();
+    let mut paired = vec![false; n];
+    for i in 0..n {
+        if paired[i] || xs[i].im == 0.0 {
+            continue;
+        }
+        // Find the closest unpaired conjugate candidate.
+        let mut best: Option<(usize, f64)> = None;
+        for j in (i + 1)..n {
+            if paired[j] || xs[j].im == 0.0 {
+                continue;
+            }
+            let d = (xs[j] - xs[i].conj()).abs();
+            if best.is_none_or(|(_, bd)| d < bd) {
+                best = Some((j, d));
+            }
+        }
+        if let Some((j, d)) = best {
+            if d <= 1e-6 * xs[i].abs().max(1.0) {
+                let avg = (xs[i] + xs[j].conj()) * 0.5;
+                xs[i] = avg;
+                xs[j] = avg.conj();
+                paired[i] = true;
+                paired[j] = true;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sorted_real(mut v: Vec<f64>) -> Vec<f64> {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v
+    }
+
+    #[test]
+    fn linear_root() {
+        let p = Poly::new(vec![-3.0, 1.5]); // 1.5z - 3
+        let r = roots(&p);
+        assert_eq!(r.len(), 1);
+        assert!((r[0].re - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quadratic_real_roots() {
+        // (z - 0.7)² = z² - 1.4z + 0.49 — the paper's CLCE.
+        let p = Poly::new(vec![0.49, -1.4, 1.0]);
+        let r = real_roots(&p, 1e-9);
+        assert_eq!(r.len(), 2);
+        for root in r {
+            assert!((root - 0.7).abs() < 1e-7, "root {root}");
+        }
+    }
+
+    #[test]
+    fn quadratic_complex_roots() {
+        // z² + 1 → ±i
+        let p = Poly::new(vec![1.0, 0.0, 1.0]);
+        let r = roots(&p);
+        assert_eq!(r.len(), 2);
+        assert!(r.iter().any(|z| (z.im - 1.0).abs() < 1e-12));
+        assert!(r.iter().any(|z| (z.im + 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn quadratic_cancellation_resistant() {
+        // Roots 1e-8 and 1e8: naive formula loses the small root.
+        let p = Poly::from_real_roots(&[1e-8, 1e8]);
+        let r = sorted_real(real_roots(&p, 1e-6));
+        assert!((r[0] - 1e-8).abs() / 1e-8 < 1e-6);
+        assert!((r[1] - 1e8).abs() / 1e8 < 1e-6);
+    }
+
+    #[test]
+    fn cubic_known_roots() {
+        let p = Poly::from_real_roots(&[0.2, 0.5, 0.9]);
+        let r = sorted_real(real_roots(&p, 1e-7));
+        assert_eq!(r.len(), 3);
+        for (got, want) in r.iter().zip([0.2, 0.5, 0.9]) {
+            assert!((got - want).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn quartic_mixed_roots() {
+        // (z² - z + 0.5)(z - 0.3)(z + 0.6)
+        let pair = Poly::new(vec![0.5, -1.0, 1.0]);
+        let p = &(&pair * &Poly::new(vec![-0.3, 1.0])) * &Poly::new(vec![0.6, 1.0]);
+        let r = roots(&p);
+        assert_eq!(r.len(), 4);
+        // All roots must actually be roots.
+        for z in &r {
+            assert!(p.eval_complex(*z).abs() < 1e-8, "residual at {z}");
+        }
+        // And we can rebuild the polynomial from them.
+        let rebuilt = Poly::from_complex_roots(&r, 1e-6).scale(p.leading());
+        for i in 0..=p.degree() {
+            assert!((rebuilt.coeff(i) - p.coeff(i)).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn spectral_radius_of_stable_poly() {
+        let p = Poly::from_real_roots(&[0.7, 0.7]);
+        assert!((spectral_radius(&p) - 0.7).abs() < 1e-7);
+        let unstable = Poly::from_real_roots(&[1.2, 0.1]);
+        assert!(spectral_radius(&unstable) > 1.0);
+    }
+
+    #[test]
+    fn constant_has_no_roots() {
+        assert!(roots(&Poly::constant(5.0)).is_empty());
+    }
+
+    #[test]
+    fn high_degree_residuals_small() {
+        // Degree-7 with clustered roots.
+        let want = [0.1, 0.2, 0.3, 0.7, 0.7, -0.5, 0.95];
+        let p = Poly::from_real_roots(&want);
+        let r = roots(&p);
+        assert_eq!(r.len(), 7);
+        for z in &r {
+            assert!(p.eval_complex(*z).abs() < 1e-6, "residual at {z}");
+        }
+    }
+}

@@ -1,0 +1,411 @@
+//! Rational discrete-time transfer functions `H(z) = N(z) / D(z)`.
+
+use crate::complex::Complex;
+use crate::poly::Poly;
+use crate::roots;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A proper rational transfer function in the z-domain.
+///
+/// Invariants: the denominator is non-zero and `deg N ≤ deg D`
+/// (properness — required for causal simulation).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransferFunction {
+    num: Poly,
+    den: Poly,
+}
+
+/// Error constructing a [`TransferFunction`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TfError {
+    /// Denominator was the zero polynomial.
+    ZeroDenominator,
+    /// Numerator degree exceeded denominator degree.
+    Improper,
+}
+
+impl fmt::Display for TfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TfError::ZeroDenominator => write!(f, "denominator polynomial is zero"),
+            TfError::Improper => write!(f, "numerator degree exceeds denominator degree"),
+        }
+    }
+}
+
+impl std::error::Error for TfError {}
+
+impl TransferFunction {
+    /// Creates a transfer function, validating properness.
+    pub fn new(num: Poly, den: Poly) -> Result<Self, TfError> {
+        if den.is_zero() {
+            return Err(TfError::ZeroDenominator);
+        }
+        if num.degree() > den.degree() && !num.is_zero() {
+            return Err(TfError::Improper);
+        }
+        Ok(Self { num, den })
+    }
+
+    /// The paper's plant: an integrator with gain, `G(z) = g / (z − 1)`
+    /// where `g = c·T/H` (Eq. 4).
+    pub fn integrator(gain: f64) -> Self {
+        Self {
+            num: Poly::constant(gain),
+            den: Poly::new(vec![-1.0, 1.0]),
+        }
+    }
+
+    /// A pure gain (degree-zero) transfer function.
+    pub fn gain(k: f64) -> Self {
+        Self {
+            num: Poly::constant(k),
+            den: Poly::constant(1.0),
+        }
+    }
+
+    /// Numerator polynomial.
+    pub fn num(&self) -> &Poly {
+        &self.num
+    }
+
+    /// Denominator polynomial.
+    pub fn den(&self) -> &Poly {
+        &self.den
+    }
+
+    /// System poles (roots of the denominator).
+    pub fn poles(&self) -> Vec<Complex> {
+        roots::roots(&self.den)
+    }
+
+    /// System zeros (roots of the numerator).
+    pub fn zeros(&self) -> Vec<Complex> {
+        roots::roots(&self.num)
+    }
+
+    /// BIBO stability: all poles strictly inside the unit circle.
+    pub fn is_stable(&self) -> bool {
+        self.poles().iter().all(|p| p.abs() < 1.0 - 1e-9)
+    }
+
+    /// Marginal stability: poles inside or on the unit circle, with any
+    /// on-circle poles simple. (The raw integrator plant is marginally
+    /// stable — its unbounded ramp response to sustained overload is
+    /// exactly the instability Example 1 of the paper describes.)
+    pub fn is_marginally_stable(&self) -> bool {
+        let poles = self.poles();
+        let mut on_circle: Vec<Complex> = Vec::new();
+        for p in &poles {
+            let m = p.abs();
+            if m > 1.0 + 1e-9 {
+                return false;
+            }
+            if m > 1.0 - 1e-9 {
+                // Repeated pole on the circle → polynomial growth.
+                if on_circle.iter().any(|q| (*q - *p).abs() < 1e-6) {
+                    return false;
+                }
+                on_circle.push(*p);
+            }
+        }
+        true
+    }
+
+    /// Static (DC) gain `H(1)`. Infinite for systems with an integrator.
+    pub fn dc_gain(&self) -> f64 {
+        self.num.sum() / self.den.sum()
+    }
+
+    /// Frequency response at normalised frequency `omega` (rad/sample):
+    /// `H(e^{jω})`.
+    pub fn freq_response(&self, omega: f64) -> Complex {
+        let z = Complex::from_polar(1.0, omega);
+        self.num.eval_complex(z) / self.den.eval_complex(z)
+    }
+
+    /// Series (cascade) connection `self · other`.
+    pub fn series(&self, other: &TransferFunction) -> TransferFunction {
+        TransferFunction {
+            num: &self.num * &other.num,
+            den: &self.den * &other.den,
+        }
+    }
+
+    /// Unity negative feedback closure of the open loop `L = self`:
+    /// `L / (1 + L)`.
+    pub fn close_unity_feedback(&self) -> TransferFunction {
+        TransferFunction {
+            num: self.num.clone(),
+            den: &self.den + &self.num,
+        }
+    }
+
+    /// Closed-loop transfer function from an *input disturbance* (added at
+    /// the plant input) to the output, for loop `C·G` with plant `G`:
+    /// `G / (1 + C·G)`. `self` is the plant, `c` the controller.
+    pub fn disturbance_to_output(&self, c: &TransferFunction) -> TransferFunction {
+        // G/(1+CG) = (Ng·Dc) / (Dg·Dc + Nc·Ng)
+        TransferFunction {
+            num: &self.num * &c.den,
+            den: &(&self.den * &c.den) + &(&c.num * &self.num),
+        }
+    }
+
+    /// Simulates the system response to an arbitrary input sequence with
+    /// zero initial conditions, returning the output sequence of the same
+    /// length.
+    pub fn simulate(&self, input: &[f64]) -> Vec<f64> {
+        let d = self.den.degree();
+        let lead = self.den.leading();
+        let mut output = vec![0.0; input.len()];
+        for k in 0..input.len() {
+            // y[k]·den[d] = Σ_i num[i]·u[k-d+i] − Σ_{j<d} den[j]·y[k-d+j]
+            let mut acc = 0.0;
+            for i in 0..=self.num.degree() {
+                let idx = k as isize - d as isize + i as isize;
+                if idx >= 0 {
+                    acc += self.num.coeff(i) * input[idx as usize];
+                }
+            }
+            for j in 0..d {
+                let idx = k as isize - d as isize + j as isize;
+                if idx >= 0 {
+                    acc -= self.den.coeff(j) * output[idx as usize];
+                }
+            }
+            output[k] = acc / lead;
+        }
+        output
+    }
+
+    /// Unit step response of length `n`.
+    pub fn step_response(&self, n: usize) -> Vec<f64> {
+        self.simulate(&vec![1.0; n])
+    }
+
+    /// Unit impulse response of length `n`.
+    pub fn impulse_response(&self, n: usize) -> Vec<f64> {
+        let mut input = vec![0.0; n];
+        if n > 0 {
+            input[0] = 1.0;
+        }
+        self.simulate(&input)
+    }
+}
+
+impl fmt::Display for TransferFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}) / ({})", self.num, self.den)
+    }
+}
+
+/// Summary statistics of a step response, used to check design goals
+/// (damping / convergence-rate claims of Appendix A).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StepMetrics {
+    /// Final value the response settles to (mean of the tail).
+    pub final_value: f64,
+    /// Peak overshoot beyond the final value, as a fraction (0 = none).
+    pub overshoot: f64,
+    /// First sample index where the response enters and stays within ±2%
+    /// of the final value, or `None` if it never settles.
+    pub settling_index: Option<usize>,
+    /// First index where the response reaches 63.2% of the final value.
+    pub rise_63_index: Option<usize>,
+}
+
+impl StepMetrics {
+    /// Computes metrics from a simulated step response.
+    pub fn from_response(y: &[f64]) -> Self {
+        assert!(!y.is_empty(), "empty response");
+        let tail = y.len().saturating_sub(y.len() / 10).max(y.len() - 1);
+        let final_value =
+            y[tail..].iter().sum::<f64>() / (y.len() - tail) as f64;
+        let peak = y.iter().cloned().fold(f64::MIN, f64::max);
+        let overshoot = if final_value.abs() > 1e-12 {
+            ((peak - final_value) / final_value.abs()).max(0.0)
+        } else {
+            0.0
+        };
+        let band = 0.02 * final_value.abs().max(1e-12);
+        let settling_index = (0..y.len())
+            .find(|&k| y[k..].iter().all(|&v| (v - final_value).abs() <= band));
+        let rise_target = 0.632 * final_value;
+        let rise_63_index = y.iter().position(|&v| {
+            if final_value >= 0.0 {
+                v >= rise_target
+            } else {
+                v <= rise_target
+            }
+        });
+        Self {
+            final_value,
+            overshoot,
+            settling_index,
+            rise_63_index,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_validates() {
+        assert_eq!(
+            TransferFunction::new(Poly::constant(1.0), Poly::zero()),
+            Err(TfError::ZeroDenominator)
+        );
+        assert_eq!(
+            TransferFunction::new(Poly::new(vec![0.0, 0.0, 1.0]), Poly::new(vec![1.0, 1.0])),
+            Err(TfError::Improper)
+        );
+    }
+
+    #[test]
+    fn integrator_pole_at_one() {
+        let g = TransferFunction::integrator(2.0);
+        let poles = g.poles();
+        assert_eq!(poles.len(), 1);
+        assert!((poles[0].re - 1.0).abs() < 1e-12);
+        assert!(!g.is_stable());
+        assert!(g.is_marginally_stable());
+    }
+
+    #[test]
+    fn double_integrator_not_marginally_stable() {
+        let g = TransferFunction::integrator(1.0);
+        let gg = g.series(&g);
+        assert!(!gg.is_marginally_stable());
+    }
+
+    #[test]
+    fn integrator_step_response_is_ramp() {
+        let g = TransferFunction::integrator(1.0);
+        let y = g.step_response(5);
+        // y(k) = sum of past inputs: 0,1,2,3,4
+        assert_eq!(y, vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn gain_passes_through() {
+        let g = TransferFunction::gain(3.0);
+        assert_eq!(g.simulate(&[1.0, 2.0]), vec![3.0, 6.0]);
+        assert_eq!(g.dc_gain(), 3.0);
+    }
+
+    #[test]
+    fn first_order_lag_converges_to_dc_gain() {
+        // H(z) = 0.3 / (z - 0.7): DC gain 1.
+        let h = TransferFunction::new(Poly::constant(0.3), Poly::new(vec![-0.7, 1.0])).unwrap();
+        assert!((h.dc_gain() - 1.0).abs() < 1e-12);
+        let y = h.step_response(200);
+        assert!((y.last().unwrap() - 1.0).abs() < 1e-6);
+        assert!(h.is_stable());
+    }
+
+    #[test]
+    fn series_multiplies_responses() {
+        let a = TransferFunction::gain(2.0);
+        let b = TransferFunction::gain(5.0);
+        let ab = a.series(&b);
+        assert_eq!(ab.dc_gain(), 10.0);
+    }
+
+    #[test]
+    fn closed_loop_of_paper_design_has_designed_poles() {
+        // C·G = (0.4z - 0.31) / ((z + (-0.8))(z - 1)) with gains cancelling.
+        let cg = TransferFunction::new(
+            Poly::new(vec![-0.31, 0.4]),
+            &Poly::new(vec![-0.8, 1.0]) * &Poly::new(vec![-1.0, 1.0]),
+        )
+        .unwrap();
+        let cl = cg.close_unity_feedback();
+        for p in cl.poles() {
+            assert!((p.re - 0.7).abs() < 1e-6 && p.im.abs() < 1e-6, "pole {p}");
+        }
+        assert!((cl.dc_gain() - 1.0).abs() < 1e-9);
+        assert!(cl.is_stable());
+    }
+
+    #[test]
+    fn freq_response_dc_matches_dc_gain() {
+        let h = TransferFunction::new(Poly::constant(0.3), Poly::new(vec![-0.7, 1.0])).unwrap();
+        let r = h.freq_response(0.0);
+        assert!((r.re - h.dc_gain()).abs() < 1e-12);
+        assert!(r.im.abs() < 1e-12);
+    }
+
+    #[test]
+    fn disturbance_rejection_of_closed_loop() {
+        // Plant integrator, paper controller: a step input disturbance must
+        // be rejected (output returns to 0) because the controller has
+        // integral action through the loop.
+        let plant = TransferFunction::integrator(1.0);
+        let ctrl =
+            TransferFunction::new(Poly::new(vec![-0.31, 0.4]), Poly::new(vec![-0.8, 1.0])).unwrap();
+        let dist_tf = plant.disturbance_to_output(&ctrl);
+        let y = dist_tf.step_response(300);
+        assert!(y.iter().take(10).any(|&v| v.abs() > 1e-3), "responds at first");
+        // The integrator plant + proportional-lag controller leaves a
+        // constant steady-state offset for input disturbances; it must at
+        // least be bounded and converge.
+        let tail: Vec<f64> = y[250..].to_vec();
+        let spread = tail.iter().cloned().fold(f64::MIN, f64::max)
+            - tail.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread < 1e-6, "settles to a constant");
+    }
+
+    #[test]
+    fn impulse_response_sums_to_dc_gain_for_stable_system() {
+        let h = TransferFunction::new(Poly::constant(0.3), Poly::new(vec![-0.7, 1.0])).unwrap();
+        let sum: f64 = h.impulse_response(400).iter().sum();
+        assert!((sum - h.dc_gain()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn step_metrics_detects_overshoot_and_settling() {
+        // Underdamped second-order: poles 0.6 ± 0.55i (damping < 0.7).
+        let den = Poly::from_complex_roots(
+            &[Complex::new(0.6, 0.55), Complex::new(0.6, -0.55)],
+            1e-9,
+        );
+        let num = Poly::constant(den.sum()); // DC gain 1
+        let h = TransferFunction::new(num, den).unwrap();
+        let y = h.step_response(200);
+        let m = StepMetrics::from_response(&y);
+        assert!((m.final_value - 1.0).abs() < 1e-6);
+        assert!(m.overshoot > 0.05, "visible oscillation expected");
+        assert!(m.settling_index.is_some());
+
+        // Critically damped paper design: negligible overshoot.
+        let cg = TransferFunction::new(
+            Poly::new(vec![-0.31, 0.4]),
+            &Poly::new(vec![-0.8, 1.0]) * &Poly::new(vec![-1.0, 1.0]),
+        )
+        .unwrap();
+        let cl = cg.close_unity_feedback();
+        let m2 = StepMetrics::from_response(&cl.step_response(100));
+        assert!(m2.overshoot < 0.05, "overshoot {}", m2.overshoot);
+    }
+
+    #[test]
+    fn paper_convergence_rate_three_periods() {
+        // Appendix A: poles at 0.7 ≈ e^{-1/3} → ~63% of target in ~3
+        // periods, 98% within ~12 periods.
+        let cg = TransferFunction::new(
+            Poly::new(vec![-0.31, 0.4]),
+            &Poly::new(vec![-0.8, 1.0]) * &Poly::new(vec![-1.0, 1.0]),
+        )
+        .unwrap();
+        let cl = cg.close_unity_feedback();
+        let y = cl.step_response(40);
+        let m = StepMetrics::from_response(&y);
+        let rise = m.rise_63_index.expect("must rise");
+        assert!(rise <= 4, "63% rise within ~3-4 periods, got {rise}");
+        assert!((y[12] - 1.0).abs() < 0.06, "98% within 12 periods: {}", y[12]);
+    }
+}

@@ -1,0 +1,62 @@
+//! Where to shed: the Load Shedding Roadmap.
+//!
+//! The paper decides *when* and *how much* to shed and hands the *where*
+//! to Aurora's LSRM. This example builds the roadmap for the paper's
+//! 14-operator network, prints the location ranking, plans a shed of one
+//! second of CPU load, and compares the plan's utility loss against a
+//! location-blind baseline. It then runs the engine with the LSRM shed
+//! policy end-to-end.
+//!
+//! ```text
+//! cargo run --release --example lsrm_planning
+//! ```
+
+use streamshed::control::lsrm::Lsrm;
+use streamshed::engine::describe;
+use streamshed::engine::sim::ShedPolicy;
+use streamshed::prelude::*;
+
+fn main() {
+    let net = identification_network();
+    println!("{}", describe::describe(&net));
+
+    let lsrm = Lsrm::build(&net);
+    println!("LSRM ranking (best drop locations first):");
+    println!("  node             load-saved(µs)   output-yield   ratio");
+    for loc in lsrm.locations() {
+        println!(
+            "  op{:<2} {:<10} {:>12.0} {:>14.3} {:>9.0}",
+            loc.node,
+            net.nodes()[loc.node].name,
+            loc.load_saved_us,
+            loc.output_yield,
+            loc.ratio
+        );
+    }
+
+    // Plan: shed 1 s of CPU with 80 tuples queued everywhere.
+    let available = vec![80u64; net.len()];
+    let plan = lsrm.plan(1_000_000.0, &available);
+    println!("\nplan for Ls = 1.0 s of load:");
+    for (node, n) in &plan.drops {
+        println!("  drop {n:>3} tuples before op{node} ({})", net.nodes()[*node].name);
+    }
+    println!(
+        "  sheds {:.2} s of load, losing {:.1} expected query outputs",
+        plan.load_shed_us / 1e6,
+        plan.utility_loss
+    );
+
+    // End-to-end: CTRL in network mode with the LSRM victim policy.
+    let times = StepTrace::constant(380.0).arrival_times(120.0);
+    let arrivals: Vec<SimTime> = to_micros(&times).into_iter().map(SimTime).collect();
+    let cfg = LoopConfig::paper_default().with_shed_mode(ShedMode::Network);
+    let mut strategy = CtrlStrategy::from_config(&cfg);
+    let sim = Simulator::new(
+        identification_network(),
+        SimConfig::paper_default().with_shed_policy(ShedPolicy::LsrmRatio),
+    );
+    let report = sim.run(&arrivals, &mut strategy, secs(120));
+    println!("\nend-to-end (CTRL + network shedding + LSRM policy, 2x overload):");
+    print!("{}", report.render_summary());
+}

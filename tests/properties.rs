@@ -1,0 +1,143 @@
+//! Property-based tests over the full simulator: invariants that must
+//! hold for any workload, seed, and shedding policy.
+
+use proptest::prelude::*;
+use streamshed::prelude::*;
+
+/// Arbitrary small workloads: (rate regimes, seed, alpha).
+fn arrivals(rates: &[f64], dur_s: f64) -> Vec<SimTime> {
+    let steps: Vec<(f64, f64)> = rates
+        .iter()
+        .enumerate()
+        .map(|(i, &r)| (i as f64 * dur_s / rates.len() as f64, r))
+        .collect();
+    let trace = StepTrace::from_steps(steps);
+    to_micros(&trace.arrival_times(dur_s))
+        .into_iter()
+        .map(SimTime)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// offered = dropped_entry + dropped_network + completed + outstanding.
+    #[test]
+    fn tuple_conservation(
+        rates in prop::collection::vec(10.0..600.0f64, 1..4),
+        seed in 0u64..1000,
+        alpha in 0.0..0.9f64,
+    ) {
+        let arr = arrivals(&rates, 12.0);
+        let sim = Simulator::new(
+            identification_network(),
+            SimConfig::paper_default().with_seed(seed),
+        );
+        let mut hook = |_s: &PeriodSnapshot| Decision::entry(alpha);
+        let report = sim.run(&arr, &mut hook, secs(12));
+        let outstanding = report.periods.last().unwrap().outstanding;
+        prop_assert_eq!(
+            report.offered,
+            report.dropped_entry + report.dropped_network + report.completed + outstanding
+        );
+        prop_assert!(report.loss_ratio() >= 0.0 && report.loss_ratio() <= 1.0);
+    }
+
+    /// Delays are never negative, and the violation accounting is
+    /// internally consistent.
+    #[test]
+    fn violation_accounting_consistent(
+        rate in 50.0..500.0f64,
+        seed in 0u64..1000,
+    ) {
+        let arr = arrivals(&[rate], 10.0);
+        let sim = Simulator::new(
+            identification_network(),
+            SimConfig::paper_default().with_seed(seed),
+        );
+        let report = sim.run(&arr, &mut NoShedding, secs(10));
+        prop_assert!(report.delay_stats().mean_ms() >= 0.0);
+        prop_assert!(report.max_overshoot_ms >= 0.0);
+        if report.delayed_tuples == 0 {
+            prop_assert_eq!(report.accumulated_violation_ms, 0.0);
+            prop_assert_eq!(report.max_overshoot_ms, 0.0);
+        } else {
+            prop_assert!(report.accumulated_violation_ms > 0.0);
+            // Mean violation cannot exceed the max.
+            let mean_viol =
+                report.accumulated_violation_ms / report.delayed_tuples as f64;
+            prop_assert!(mean_viol <= report.max_overshoot_ms + 1e-9);
+        }
+    }
+
+    /// Higher entry-drop probability never *increases* completed work.
+    #[test]
+    fn monotone_shedding(
+        seed in 0u64..200,
+    ) {
+        let arr = arrivals(&[400.0], 10.0);
+        let run = |alpha: f64| {
+            let sim = Simulator::new(
+                identification_network(),
+                SimConfig::paper_default().with_seed(seed),
+            );
+            let mut hook = move |_s: &PeriodSnapshot| Decision::entry(alpha);
+            sim.run(&arr, &mut hook, secs(10))
+        };
+        let light = run(0.1);
+        let heavy = run(0.8);
+        prop_assert!(heavy.dropped_entry > light.dropped_entry);
+        prop_assert!(
+            heavy.periods.last().unwrap().outstanding
+                <= light.periods.last().unwrap().outstanding
+        );
+    }
+
+    /// The CTRL strategy never emits an out-of-range drop probability and
+    /// never panics, whatever the snapshot contents.
+    #[test]
+    fn ctrl_decision_always_valid(
+        outstanding in 0u64..100_000,
+        offered in 0u64..10_000,
+        completed in 0u64..10_000,
+        cost in prop::option::of(1.0..100_000.0f64),
+        k in 0u64..500,
+    ) {
+        let mut s = CtrlStrategy::from_config(&LoopConfig::paper_default());
+        let snap = PeriodSnapshot {
+            k,
+            now: SimTime::ZERO + secs(k + 1),
+            period: secs(1),
+            offered,
+            admitted: offered,
+            dropped_entry: 0,
+            dropped_network: 0,
+            completed,
+            outstanding,
+            queued_tuples: outstanding,
+            queued_load_us: outstanding as f64 * 5000.0,
+            measured_cost_us: cost,
+            mean_delay_ms: None,
+            cpu_busy_us: 0,
+        };
+        let d = s.on_period(&snap);
+        prop_assert!((0.0..=1.0).contains(&d.entry_drop_prob));
+        prop_assert!(d.shed_load_us >= 0.0);
+        prop_assert!(d.shed_load_us.is_finite());
+    }
+
+    /// Controller output is a continuous function of the error: small
+    /// error perturbations produce proportionally small output changes.
+    #[test]
+    fn controller_lipschitz(
+        e in -20.0..20.0f64,
+        de in -0.01..0.01f64,
+    ) {
+        let mut a = FeedbackController::paper();
+        let mut b = FeedbackController::paper();
+        let u1 = a.compute(e, 5.105e-3, 1.0, 0.97);
+        let u2 = b.compute(e + de, 5.105e-3, 1.0, 0.97);
+        // Gain = H/(cT)·b0 ≈ 76 per unit error.
+        prop_assert!((u2 - u1).abs() <= 100.0 * de.abs() + 1e-9);
+    }
+}
