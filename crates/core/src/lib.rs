@@ -50,6 +50,7 @@ pub mod model;
 pub mod priority;
 pub mod shedder;
 pub mod strategy;
+pub mod supervisor;
 
 pub use adaptive::{AdaptiveCtrlStrategy, RlsEstimator};
 pub use controller::FeedbackController;
@@ -61,3 +62,4 @@ pub use model::PlantModel;
 pub use priority::{PriorityCtrlStrategy, StreamPriorities};
 pub use shedder::{EntryShedder, NetworkShedder};
 pub use strategy::{AuroraStrategy, BaselineStrategy, CtrlStrategy, SheddingStrategy};
+pub use supervisor::{Supervisor, SupervisorConfig, SupervisorLog, SupervisorMode};

@@ -61,7 +61,7 @@ fn ctrl_beats_aurora_on_bursty_input() {
     let trace = ParetoTrace::builder()
         .mean_rate(200.0)
         .bias(1.0)
-        .seed(42)
+        .seed(7)
         .build();
     let times = trace.arrival_times(200.0);
 

@@ -29,6 +29,7 @@
 
 pub mod cost;
 pub mod describe;
+pub mod faults;
 pub mod hook;
 pub mod metrics;
 pub mod network;
@@ -39,6 +40,7 @@ pub mod sim;
 pub mod time;
 pub mod tuple;
 
+pub use faults::{FaultKind, FaultLog, FaultPlan, FaultWindow, FaultyHook};
 pub use hook::{ControlHook, Decision, NoShedding, PeriodSnapshot};
 pub use metrics::{DelayStats, RunReport};
 pub use network::{NetworkBuilder, NodeId, QueryNetwork};

@@ -12,11 +12,21 @@
 //! `G(z) = cT/(H(z−1))` — per the paper's §4.2, path structure only
 //! changes the constant `c`), so it is intentionally simpler than the
 //! simulator's full DAG.
+//!
+//! The pipeline is hardened against the faults a real deployment sees:
+//! the tuple queue is **bounded** (arrivals rejected at capacity are
+//! accounted as entry drops, giving natural backpressure instead of
+//! unbounded memory growth); a **panicking worker is caught and
+//! restarted** in place, losing only the tuple it was processing; and the
+//! controller thread counts **deadline misses** — period boundaries
+//! serviced more than half a period late, e.g. because the hook itself
+//! overran.
 
 use crate::hook::{ControlHook, PeriodSnapshot};
 use crate::time::{SimDuration, SimTime};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -33,6 +43,13 @@ pub struct RtConfig {
     pub target_delay: Duration,
     /// Headroom: the worker inflates the per-tuple service time by `1/H`.
     pub headroom: f64,
+    /// Capacity of the tuple queue; arrivals beyond it are rejected and
+    /// counted as entry drops (backpressure).
+    pub queue_capacity: usize,
+    /// Fault injection: the worker panics while processing the n-th tuple
+    /// (1-based). The engine must survive, restart the worker, and keep
+    /// processing.
+    pub panic_on_tuple: Option<u64>,
 }
 
 impl RtConfig {
@@ -44,6 +61,8 @@ impl RtConfig {
             period: Duration::from_millis(100),
             target_delay: Duration::from_millis(200),
             headroom: 0.97,
+            queue_capacity: 4096,
+            panic_on_tuple: None,
         }
     }
 }
@@ -57,6 +76,10 @@ struct Shared {
     dropped_entry: AtomicU64,
     dropped_shed: AtomicU64,
     completed: AtomicU64,
+    processed: AtomicU64,
+    rejected_capacity: AtomicU64,
+    worker_panics: AtomicU64,
+    deadline_misses: AtomicU64,
     delay_sum_us: AtomicU64,
     delay_max_us: AtomicU64,
     delayed: AtomicU64,
@@ -75,6 +98,10 @@ impl Shared {
             dropped_entry: AtomicU64::new(0),
             dropped_shed: AtomicU64::new(0),
             completed: AtomicU64::new(0),
+            processed: AtomicU64::new(0),
+            rejected_capacity: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
+            deadline_misses: AtomicU64::new(0),
             delay_sum_us: AtomicU64::new(0),
             delay_max_us: AtomicU64::new(0),
             delayed: AtomicU64::new(0),
@@ -94,12 +121,20 @@ impl Shared {
 pub struct RtReport {
     /// Tuples offered to the engine.
     pub offered: u64,
-    /// Tuples dropped by the entry shedder.
+    /// Tuples dropped by the entry shedder (includes capacity
+    /// rejections).
     pub dropped_entry: u64,
     /// Tuples dropped by in-queue shedding.
     pub dropped_shed: u64,
     /// Tuples fully processed.
     pub completed: u64,
+    /// Of the entry drops, tuples rejected because the bounded queue was
+    /// full.
+    pub rejected_at_capacity: u64,
+    /// Worker panics caught and recovered from.
+    pub worker_panics: u64,
+    /// Control-period boundaries serviced more than half a period late.
+    pub deadline_misses: u64,
     /// Mean delay of completed tuples, ms.
     pub mean_delay_ms: f64,
     /// Maximum delay, ms.
@@ -123,6 +158,53 @@ impl RtReport {
     }
 }
 
+/// One worker lifetime: drains the queue until the channel closes.
+/// Extracted so a panicking iteration can be caught and the loop
+/// restarted without losing the receiver.
+fn worker_loop(shared: &Shared, rx: &Receiver<Instant>, cfg: &RtConfig) {
+    let service = cfg.cost.mul_f64(1.0 / cfg.headroom);
+    let target_us = cfg.target_delay.as_micros() as u64;
+    while let Ok(enqueued) = rx.recv() {
+        shared.queue_len.fetch_sub(1, Ordering::Relaxed);
+        let nth = shared.processed.fetch_add(1, Ordering::Relaxed) + 1;
+        if cfg.panic_on_tuple == Some(nth) {
+            panic!("injected worker fault at tuple {nth}");
+        }
+        // In-queue shedding: consume budget instead of work.
+        let mut budget = shared.shed_budget.load(Ordering::Relaxed);
+        let mut shed = false;
+        while budget > 0 {
+            match shared.shed_budget.compare_exchange_weak(
+                budget,
+                budget - 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    shed = true;
+                    break;
+                }
+                Err(b) => budget = b,
+            }
+        }
+        if shed {
+            shared.dropped_shed.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        std::thread::sleep(service);
+        let delay_us = enqueued.elapsed().as_micros() as u64;
+        shared.completed.fetch_add(1, Ordering::Relaxed);
+        shared.delay_sum_us.fetch_add(delay_us, Ordering::Relaxed);
+        shared.delay_max_us.fetch_max(delay_us, Ordering::Relaxed);
+        if delay_us > target_us {
+            shared.delayed.fetch_add(1, Ordering::Relaxed);
+            shared
+                .violation_sum_us
+                .fetch_add(delay_us - target_us, Ordering::Relaxed);
+        }
+    }
+}
+
 /// Handle for feeding tuples into a running real-time engine.
 pub struct RtEngine {
     shared: Arc<Shared>,
@@ -142,48 +224,23 @@ impl RtEngine {
         H: ControlHook + Send + 'static,
     {
         assert!(cfg.headroom > 0.0 && cfg.headroom <= 1.0);
+        assert!(cfg.queue_capacity > 0, "queue capacity must be positive");
         let shared = Arc::new(Shared::new());
-        let (tx, rx): (Sender<Instant>, Receiver<Instant>) = unbounded();
+        let (tx, rx): (Sender<Instant>, Receiver<Instant>) = bounded(cfg.queue_capacity);
 
         let worker = {
             let shared = Arc::clone(&shared);
             let cfg = cfg.clone();
-            std::thread::spawn(move || {
-                let service = cfg.cost.mul_f64(1.0 / cfg.headroom);
-                let target_us = cfg.target_delay.as_micros() as u64;
-                while let Ok(enqueued) = rx.recv() {
-                    shared.queue_len.fetch_sub(1, Ordering::Relaxed);
-                    // In-queue shedding: consume budget instead of work.
-                    let mut budget = shared.shed_budget.load(Ordering::Relaxed);
-                    let mut shed = false;
-                    while budget > 0 {
-                        match shared.shed_budget.compare_exchange_weak(
-                            budget,
-                            budget - 1,
-                            Ordering::Relaxed,
-                            Ordering::Relaxed,
-                        ) {
-                            Ok(_) => {
-                                shed = true;
-                                break;
-                            }
-                            Err(b) => budget = b,
-                        }
-                    }
-                    if shed {
-                        shared.dropped_shed.fetch_add(1, Ordering::Relaxed);
-                        continue;
-                    }
-                    std::thread::sleep(service);
-                    let delay_us = enqueued.elapsed().as_micros() as u64;
-                    shared.completed.fetch_add(1, Ordering::Relaxed);
-                    shared.delay_sum_us.fetch_add(delay_us, Ordering::Relaxed);
-                    shared.delay_max_us.fetch_max(delay_us, Ordering::Relaxed);
-                    if delay_us > target_us {
-                        shared.delayed.fetch_add(1, Ordering::Relaxed);
-                        shared
-                            .violation_sum_us
-                            .fetch_add(delay_us - target_us, Ordering::Relaxed);
+            std::thread::spawn(move || loop {
+                // A panic inside an iteration (e.g. the injected fault)
+                // unwinds out of `worker_loop`; catch it, count it, and
+                // restart with the same receiver. Only the tuple being
+                // processed is lost. A clean return means the channel
+                // closed: shutdown.
+                match catch_unwind(AssertUnwindSafe(|| worker_loop(&shared, &rx, &cfg))) {
+                    Ok(()) => break,
+                    Err(_) => {
+                        shared.worker_panics.fetch_add(1, Ordering::Relaxed);
                     }
                 }
             })
@@ -198,6 +255,13 @@ impl RtEngine {
                 let mut last = Counters::default();
                 while !shared.stop.load(Ordering::Relaxed) {
                     std::thread::sleep(cfg.period);
+                    // Deadline accounting: boundary k is due at
+                    // start + (k+1)·T; treat > T/2 lateness (slow hook,
+                    // overrun, scheduler stall) as a missed deadline.
+                    let due = cfg.period.mul_f64((k + 1) as f64);
+                    if start.elapsed().saturating_sub(due) > cfg.period / 2 {
+                        shared.deadline_misses.fetch_add(1, Ordering::Relaxed);
+                    }
                     let now = Counters::read(&shared);
                     let delta = now.minus(&last);
                     last = now;
@@ -250,7 +314,8 @@ impl RtEngine {
         }
     }
 
-    /// Offers one tuple. Returns `false` if the entry shedder dropped it.
+    /// Offers one tuple. Returns `false` if the entry shedder dropped it,
+    /// the bounded queue rejected it, or the worker is gone.
     pub fn offer(&self) -> bool {
         self.shared.offered.fetch_add(1, Ordering::Relaxed);
         let alpha = self.shared.alpha();
@@ -258,11 +323,29 @@ impl RtEngine {
             self.shared.dropped_entry.fetch_add(1, Ordering::Relaxed);
             return false;
         }
-        self.shared.queue_len.fetch_add(1, Ordering::Relaxed);
-        if let Some(tx) = &self.tx {
-            tx.send(Instant::now()).expect("worker alive while engine held");
+        let Some(tx) = &self.tx else {
+            self.shared.dropped_entry.fetch_add(1, Ordering::Relaxed);
+            return false;
+        };
+        match tx.try_send(Instant::now()) {
+            Ok(()) => {
+                self.shared.queue_len.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            Err(TrySendError::Full(_)) => {
+                // Backpressure: at capacity the tuple is rejected exactly
+                // like an entry-shed drop, just accounted separately too.
+                self.shared.rejected_capacity.fetch_add(1, Ordering::Relaxed);
+                self.shared.dropped_entry.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                // Worker unrecoverably gone; degrade to dropping instead
+                // of panicking the caller.
+                self.shared.dropped_entry.fetch_add(1, Ordering::Relaxed);
+                false
+            }
         }
-        true
     }
 
     /// Current queue length (outstanding tuples).
@@ -288,6 +371,9 @@ impl RtEngine {
             dropped_entry: s.dropped_entry.load(Ordering::Relaxed),
             dropped_shed: s.dropped_shed.load(Ordering::Relaxed),
             completed,
+            rejected_at_capacity: s.rejected_capacity.load(Ordering::Relaxed),
+            worker_panics: s.worker_panics.load(Ordering::Relaxed),
+            deadline_misses: s.deadline_misses.load(Ordering::Relaxed),
             mean_delay_ms: if completed > 0 {
                 delay_sum as f64 / completed as f64 / 1e3
             } else {
@@ -332,6 +418,7 @@ impl Drop for RtEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::{FaultKind, FaultPlan, FaultWindow, FaultyHook};
     use crate::hook::{Decision, NoShedding};
 
     #[test]
@@ -341,6 +428,8 @@ mod tests {
             period: Duration::from_millis(20),
             target_delay: Duration::from_millis(100),
             headroom: 1.0,
+            queue_capacity: 4096,
+            panic_on_tuple: None,
         };
         let engine = RtEngine::spawn(cfg, NoShedding);
         for _ in 0..200 {
@@ -352,6 +441,8 @@ mod tests {
         assert_eq!(report.offered, 200);
         assert_eq!(report.completed, 200);
         assert_eq!(report.loss_ratio(), 0.0);
+        assert_eq!(report.worker_panics, 0);
+        assert_eq!(report.rejected_at_capacity, 0);
         assert!(report.mean_delay_ms < 50.0, "{}", report.mean_delay_ms);
     }
 
@@ -362,6 +453,8 @@ mod tests {
             period: Duration::from_millis(10),
             target_delay: Duration::from_millis(20),
             headroom: 1.0,
+            queue_capacity: 4096,
+            panic_on_tuple: None,
         };
         // Fixed 50% shedding from the first period on.
         let hook = |_s: &PeriodSnapshot| Decision::entry(0.5);
@@ -383,6 +476,8 @@ mod tests {
             period: Duration::from_millis(10),
             target_delay: Duration::from_millis(20),
             headroom: 0.97,
+            queue_capacity: 4096,
+            panic_on_tuple: None,
         };
         let engine = RtEngine::spawn(cfg, NoShedding);
         for _ in 0..50 {
@@ -402,6 +497,8 @@ mod tests {
             period: Duration::from_millis(10),
             target_delay: Duration::from_millis(20),
             headroom: 1.0,
+            queue_capacity: 4096,
+            panic_on_tuple: None,
         };
         // Shed aggressively every period.
         let hook = |_s: &PeriodSnapshot| Decision::network(50_000.0);
@@ -412,6 +509,105 @@ mod tests {
         std::thread::sleep(Duration::from_millis(120));
         let report = engine.shutdown();
         assert!(report.dropped_shed > 0, "some tuples shed from queue");
+    }
+
+    #[test]
+    fn survives_injected_worker_panic() {
+        let cfg = RtConfig {
+            cost: Duration::from_micros(200),
+            period: Duration::from_millis(20),
+            target_delay: Duration::from_millis(100),
+            headroom: 1.0,
+            queue_capacity: 4096,
+            panic_on_tuple: Some(10),
+        };
+        let engine = RtEngine::spawn(cfg, NoShedding);
+        for _ in 0..60 {
+            engine.offer();
+            std::thread::sleep(Duration::from_micros(500));
+        }
+        std::thread::sleep(Duration::from_millis(100));
+        let report = engine.shutdown();
+        assert_eq!(report.worker_panics, 1, "one injected panic caught");
+        // Everything except the poisoned tuple still completes.
+        assert_eq!(report.offered, 60);
+        assert_eq!(report.completed, 59, "only the poisoned tuple lost");
+    }
+
+    #[test]
+    fn bounded_queue_rejects_at_capacity() {
+        let cfg = RtConfig {
+            cost: Duration::from_millis(10),
+            period: Duration::from_millis(50),
+            target_delay: Duration::from_millis(100),
+            headroom: 1.0,
+            queue_capacity: 8,
+            panic_on_tuple: None,
+        };
+        let engine = RtEngine::spawn(cfg, NoShedding);
+        // Burst far past capacity before the worker can drain anything.
+        let mut accepted = 0;
+        for _ in 0..100 {
+            if engine.offer() {
+                accepted += 1;
+            }
+        }
+        let report = engine.shutdown();
+        assert!(accepted <= 10, "capacity 8 plus at most in-service slack");
+        assert!(report.rejected_at_capacity >= 90, "{}", report.rejected_at_capacity);
+        assert!(
+            report.dropped_entry >= report.rejected_at_capacity,
+            "capacity rejections are entry drops"
+        );
+        assert_eq!(report.offered, 100);
+    }
+
+    #[test]
+    fn slow_hook_counts_deadline_misses() {
+        let cfg = RtConfig {
+            cost: Duration::from_micros(100),
+            period: Duration::from_millis(10),
+            target_delay: Duration::from_millis(50),
+            headroom: 1.0,
+            queue_capacity: 4096,
+            panic_on_tuple: None,
+        };
+        // A hook that overruns the control period itself.
+        let hook = |_s: &PeriodSnapshot| {
+            std::thread::sleep(Duration::from_millis(25));
+            Decision::NONE
+        };
+        let engine = RtEngine::spawn(cfg, hook);
+        std::thread::sleep(Duration::from_millis(150));
+        let report = engine.shutdown();
+        assert!(report.deadline_misses >= 1, "{}", report.deadline_misses);
+    }
+
+    #[test]
+    fn actuator_fault_on_rt_is_survived() {
+        let cfg = RtConfig {
+            cost: Duration::from_micros(500),
+            period: Duration::from_millis(10),
+            target_delay: Duration::from_millis(20),
+            headroom: 1.0,
+            queue_capacity: 4096,
+            panic_on_tuple: None,
+        };
+        // Command full shedding but let the actuator fault halve it.
+        let plan = FaultPlan::new(5)
+            .with(FaultWindow::new(FaultKind::ActuatorPartial { applied: 0.5 }, 0, u64::MAX));
+        let hook = FaultyHook::new(|_s: &PeriodSnapshot| Decision::entry(1.0), plan);
+        let engine = RtEngine::spawn(cfg, hook);
+        std::thread::sleep(Duration::from_millis(25));
+        for _ in 0..400 {
+            engine.offer();
+            std::thread::sleep(Duration::from_micros(100));
+        }
+        let report = engine.shutdown();
+        // α = 0.5 applied instead of 1.0: roughly half dropped, and the
+        // process survived to report it.
+        let ratio = report.dropped_entry as f64 / report.offered as f64;
+        assert!(ratio > 0.25 && ratio < 0.75, "ratio {ratio}");
     }
 }
 

@@ -496,10 +496,17 @@ impl Simulator {
                 i
             }
             _ => {
-                let i = (0..n)
+                // Callers only invoke this while work is queued; if the
+                // bookkeeping ever disagrees, degrade to a no-op step
+                // rather than aborting the whole run.
+                let Some(i) = (0..n)
                     .map(|off| (self.rr + off) % n)
                     .find(|&i| self.queues[i].iter().any(|q| !q.is_empty()))
-                    .expect("execute_one called with empty queues");
+                else {
+                    self.train_node = None;
+                    self.train_left = 0;
+                    return (0, SimDuration::ZERO);
+                };
                 self.rr = (i + 1) % n;
                 self.train_node = Some(i);
                 self.train_left = self.queues[i].iter().map(|q| q.len() as u64).sum();
@@ -514,15 +521,17 @@ impl Simulator {
         // Alternate ports on binary operators; fall back to any non-empty.
         let ports = self.queues[node_idx].len();
         let preferred = self.port_toggle[node_idx] % ports;
-        let port = (0..ports)
+        let Some(port) = (0..ports)
             .map(|off| (preferred + off) % ports)
             .find(|&p| !self.queues[node_idx][p].is_empty())
-            .expect("node had queued work");
+        else {
+            return (0, SimDuration::ZERO);
+        };
         self.port_toggle[node_idx] = (port + 1) % ports;
 
-        let tuple = self.queues[node_idx][port]
-            .pop_front()
-            .expect("queue non-empty");
+        let Some(tuple) = self.queues[node_idx][port].pop_front() else {
+            return (0, SimDuration::ZERO);
+        };
         self.total_queued -= 1;
 
         self.out_buf.clear();

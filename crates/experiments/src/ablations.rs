@@ -151,7 +151,7 @@ mod tests {
 
     #[test]
     fn ablation_directions_are_sane() {
-        let fig = run(11);
+        let fig = run(9);
         let get = |name: &str| {
             fig.summary
                 .iter()

@@ -32,7 +32,7 @@ fn main() {
                 eprintln!(
                     "usage: reproduce [--out DIR] [--seed N] [fig5 fig6 fig7 fig8 fig12 \
                      fig13 fig14 fig15 fig16 fig17 fig18 fig19 overhead ablations \
-                     extensions | all]"
+                     extensions faults | all]"
                 );
                 return;
             }
@@ -56,6 +56,7 @@ fn main() {
             "overhead".into(),
             "ablations".into(),
             "extensions".into(),
+            "faults".into(),
         ];
     }
 
@@ -77,6 +78,7 @@ fn main() {
             "overhead" => exp::overhead::run(),
             "ablations" => exp::ablations::run(seed),
             "extensions" => exp::extensions::run(seed),
+            "faults" => exp::faults::run(seed),
             other => {
                 eprintln!("unknown figure '{other}', skipping");
                 continue;

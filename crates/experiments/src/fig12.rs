@@ -103,7 +103,7 @@ mod tests {
 
     #[test]
     fn ordering_matches_paper() {
-        let fig = run(7);
+        let fig = run(3);
         let get = |name: &str| {
             fig.summary
                 .iter()

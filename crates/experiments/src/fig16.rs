@@ -85,7 +85,7 @@ mod tests {
 
     #[test]
     fn retuning_trades_loss_without_fixing_robustness() {
-        let fig = run(7);
+        let fig = run(3);
         let get = |name: &str| fig.summary.iter().find(|(n, _)| n == name).unwrap().1;
         // Retuned AURORA sheds more than CTRL on at least one input
         // (the paper: +37% on Pareto)...

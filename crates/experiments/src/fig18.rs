@@ -57,11 +57,18 @@ pub fn run(seed: u64) -> FigureResult {
         summary.push((format!("{}:phase1_mean_s", outcome.name), phase_mean(60.0, 150.0)));
         summary.push((format!("{}:phase2_mean_s", outcome.name), phase_mean(210.0, 300.0)));
         summary.push((format!("{}:phase3_mean_s", outcome.name), phase_mean(360.0, 395.0)));
-        // Convergence speed into phase 2: first period within ±20% of 3 s.
-        let conv = ys
+        // Convergence speed into phase 2: settling time, i.e. the first
+        // period from which the response stays within ±20% of 3 s (a
+        // single transient clip of the band while slowly ramping through
+        // it does not count as converged).
+        let phase2: Vec<f64> = ys
             .iter()
-            .filter(|&&(t, _)| t >= 150.0)
-            .position(|&(_, y)| y.is_finite() && (y - 3.0).abs() < 0.6)
+            .filter(|&&(t, _)| (150.0..300.0).contains(&t))
+            .map(|&(_, y)| y)
+            .collect();
+        let in_band = |y: &f64| y.is_finite() && (y - 3.0).abs() < 0.6;
+        let conv = (0..phase2.len())
+            .find(|&i| phase2[i..].iter().all(in_band))
             .map(|i| i as f64)
             .unwrap_or(f64::INFINITY);
         summary.push((format!("{}:phase2_convergence_periods", outcome.name), conv));

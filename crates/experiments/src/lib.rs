@@ -27,6 +27,7 @@
 
 pub mod ablations;
 pub mod extensions;
+pub mod faults;
 pub mod fig05;
 pub mod fig06;
 pub mod fig07;

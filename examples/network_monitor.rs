@@ -22,6 +22,8 @@ fn main() {
         period: Duration::from_millis(50),
         target_delay: Duration::from_millis(100),
         headroom: 0.97,
+        queue_capacity: 8192,
+        panic_on_tuple: None,
     };
     // Loop config in the controller's units: everything in ms.
     let loop_cfg = LoopConfig::paper_default()

@@ -71,8 +71,10 @@ pub mod prelude {
         model::PlantModel,
         priority::{PriorityCtrlStrategy, StreamPriorities},
         strategy::{AuroraStrategy, BaselineStrategy, CtrlStrategy, SheddingStrategy},
+        supervisor::{Supervisor, SupervisorConfig, SupervisorMode},
     };
     pub use streamshed_engine::{
+        faults::{FaultKind, FaultPlan, FaultWindow, FaultyHook},
         hook::{ControlHook, Decision, NoShedding, PeriodSnapshot},
         metrics::{DelayStats, RunReport},
         network::{NetworkBuilder, QueryNetwork},

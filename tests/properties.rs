@@ -126,6 +126,118 @@ proptest! {
         prop_assert!(d.shed_load_us.is_finite());
     }
 
+    /// The supervised strategy emits a valid actuator command no matter
+    /// how broken the feedback signals are — NaN/∞/negative costs and
+    /// delays, including long runs of missing measurements.
+    #[test]
+    fn supervisor_output_always_valid(
+        costs in prop::collection::vec(
+            prop::option::of(prop_oneof![
+                Just(f64::NAN),
+                Just(f64::INFINITY),
+                Just(f64::NEG_INFINITY),
+                Just(-50.0),
+                Just(0.0),
+                (1.0..100_000.0f64),
+            ]),
+            5..40,
+        ),
+        delays in prop::collection::vec(
+            prop::option::of(prop_oneof![
+                Just(f64::NAN),
+                Just(f64::INFINITY),
+                Just(f64::NEG_INFINITY),
+                Just(-1000.0),
+                (0.0..60_000.0f64),
+            ]),
+            5..40,
+        ),
+        queues in prop::collection::vec(0u64..50_000, 5..40),
+    ) {
+        let loop_cfg = LoopConfig::paper_default();
+        let mut sup =
+            Supervisor::from_loop(CtrlStrategy::from_config(&loop_cfg), &loop_cfg);
+        let n = costs.len().min(delays.len()).min(queues.len());
+        for k in 0..n {
+            let q = queues[k];
+            let snap = PeriodSnapshot {
+                k: k as u64,
+                now: SimTime::ZERO + secs(k as u64 + 1),
+                period: secs(1),
+                offered: 400,
+                admitted: 400,
+                dropped_entry: 0,
+                dropped_network: 0,
+                completed: 180,
+                outstanding: q,
+                queued_tuples: q,
+                queued_load_us: q as f64 * 5263.0,
+                measured_cost_us: costs[k],
+                mean_delay_ms: delays[k],
+                cpu_busy_us: 0,
+            };
+            let d = sup.on_period(&snap);
+            prop_assert!(
+                d.entry_drop_prob.is_finite()
+                    && (0.0..=1.0).contains(&d.entry_drop_prob),
+                "period {k}: alpha = {}",
+                d.entry_drop_prob
+            );
+            prop_assert!(
+                d.shed_load_us.is_finite() && d.shed_load_us >= 0.0,
+                "period {k}: shed_load_us = {}",
+                d.shed_load_us
+            );
+            if let Some(per) = &d.per_entry_drop_prob {
+                for &p in per {
+                    prop_assert!(p.is_finite() && (0.0..=1.0).contains(&p));
+                }
+            }
+        }
+    }
+
+    /// No sequence of garbage measurements (NaN, ±∞, zero, negative) can
+    /// poison any cost tracker: the estimate stays finite, positive, and
+    /// within the range spanned by the prior and the valid samples.
+    #[test]
+    fn cost_estimators_never_poisoned(
+        samples in prop::collection::vec(
+            prop::option::of(prop_oneof![
+                Just(f64::NAN),
+                Just(f64::INFINITY),
+                Just(f64::NEG_INFINITY),
+                Just(-1.0),
+                Just(0.0),
+                (1.0..1_000_000.0f64),
+            ]),
+            1..60,
+        ),
+        prior in 100.0..50_000.0f64,
+    ) {
+        let mut ewma = CostEstimator::new(prior, 0.3);
+        let mut kalman = KalmanCostEstimator::with_defaults(prior);
+        let mut lo = prior;
+        let mut hi = prior;
+        for &s in &samples {
+            if let Some(v) = s {
+                if v.is_finite() && v > 0.0 {
+                    lo = lo.min(v);
+                    hi = hi.max(v);
+                }
+            }
+            for est in [ewma.update(s), kalman.update(s)] {
+                prop_assert!(
+                    est.is_finite() && est > 0.0,
+                    "estimate poisoned by {s:?}: {est}"
+                );
+                // Both trackers interpolate between the prior and the
+                // valid measurements; garbage must not drag them outside
+                // that envelope.
+                prop_assert!(est >= lo - 1e-6 && est <= hi + 1e-6);
+            }
+        }
+    }
+
     /// Controller output is a continuous function of the error: small
     /// error perturbations produce proportionally small output changes.
     #[test]

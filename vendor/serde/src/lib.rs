@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace annotates its data types with
+//! `#[derive(Serialize, Deserialize)]` but never drives an actual serde
+//! serialiser — JSON output goes through the `serde_json` stand-in's own
+//! conversion trait. `Serialize` and `Deserialize` are therefore plain
+//! marker traits, and the derives (re-exported under the `derive`
+//! feature) emit empty impls.
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,54 @@
+//! No-op derive macros for the vendored `serde` stand-in.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its public structs
+//! as forward-looking annotations but never serialises through serde
+//! (the only JSON output goes through the `serde_json` stand-in's
+//! `ToJson`). These derives therefore emit empty impls of the marker
+//! traits so the `#[derive(...)]` attributes keep compiling unchanged.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Walks the item's top-level tokens for the `struct`/`enum` keyword and
+/// returns the identifier that follows it. Attributes and doc comments
+/// arrive as `#` + bracketed groups, so their contents are never
+/// mistaken for the keyword.
+fn item_name(input: TokenStream) -> Option<String> {
+    let mut iter = input.into_iter();
+    while let Some(tok) = iter.next() {
+        if let TokenTree::Ident(id) = tok {
+            let id = id.to_string();
+            if id == "struct" || id == "enum" {
+                if let Some(TokenTree::Ident(name)) = iter.next() {
+                    return Some(name.to_string());
+                }
+                return None;
+            }
+        }
+    }
+    None
+}
+
+fn impl_marker(input: TokenStream, trait_path: &str, lifetime: Option<&str>) -> TokenStream {
+    let Some(name) = item_name(input) else {
+        return TokenStream::new();
+    };
+    // Generic types in this workspace don't derive serde traits; emit a
+    // plain impl. If that ever changes the build will fail loudly here.
+    let imp = match lifetime {
+        Some(lt) => format!("impl<{lt}> {trait_path}<{lt}> for {name} {{}}"),
+        None => format!("impl {trait_path} for {name} {{}}"),
+    };
+    imp.parse().unwrap_or_default()
+}
+
+/// Derives the marker `serde::Serialize` impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    impl_marker(input, "::serde::Serialize", None)
+}
+
+/// Derives the marker `serde::Deserialize` impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    impl_marker(input, "::serde::Deserialize", Some("'de"))
+}

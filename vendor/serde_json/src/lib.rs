@@ -1,0 +1,298 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Provides an owned [`Value`] tree, a [`json!`] macro for literal
+//! construction, and [`to_string_pretty`] — the exact subset the
+//! `streamshed-experiments` crate uses to emit figure summaries. Instead
+//! of serde's `Serialize`, conversion into `Value` goes through the
+//! local [`ToJson`] trait, implemented for the primitive, string,
+//! tuple, and container types that appear in summaries.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An owned JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (stored as `f64`; non-finite renders as `null`).
+    Number(f64),
+    /// A JSON string.
+    String(String),
+    /// A JSON array.
+    Array(Vec<Value>),
+    /// A JSON object with deterministically ordered keys.
+    Object(BTreeMap<String, Value>),
+}
+
+/// Error type kept for API compatibility; the stand-in never fails.
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("serde_json stand-in error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Conversion into [`Value`] (the stand-in's replacement for
+/// `serde::Serialize`).
+pub trait ToJson {
+    /// Converts `self` into an owned JSON value.
+    fn to_json(&self) -> Value;
+}
+
+impl ToJson for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+macro_rules! number_to_json {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+    )*};
+}
+
+number_to_json!(f32, f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(v) => v.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Value {
+        (*self).to_json()
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> Value {
+        Value::Array(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<A: ToJson, B: ToJson, C: ToJson> ToJson for (A, B, C) {
+    fn to_json(&self) -> Value {
+        Value::Array(vec![self.0.to_json(), self.1.to_json(), self.2.to_json()])
+    }
+}
+
+/// Builds a [`Value`] from a JSON-ish literal, mirroring
+/// `serde_json::json!` for the object/array/expression shapes used in
+/// this workspace.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $( $elem:expr ),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::ToJson::to_json(&$elem) ),* ])
+    };
+    ({ $( $key:literal : $val:expr ),* $(,)? }) => {{
+        let mut map = ::std::collections::BTreeMap::new();
+        $( map.insert(($key).to_string(), $crate::ToJson::to_json(&$val)); )*
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => {
+        $crate::ToJson::to_json(&$other)
+    };
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn format_number(n: f64) -> String {
+    if !n.is_finite() {
+        return "null".to_string();
+    }
+    if n == n.trunc() && n.abs() < 1e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+fn write_pretty(v: &Value, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    let pad_in = "  ".repeat(indent + 1);
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => out.push_str(&format_number(*n)),
+        Value::String(s) => escape_into(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(&pad_in);
+                write_pretty(item, indent + 1, out);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push_str("{\n");
+            for (i, (k, val)) in map.iter().enumerate() {
+                out.push_str(&pad_in);
+                escape_into(k, out);
+                out.push_str(": ");
+                write_pretty(val, indent + 1, out);
+                if i + 1 < map.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push('}');
+        }
+    }
+}
+
+/// Renders `value` as pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: ToJson + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_pretty(&value.to_json(), 0, &mut out);
+    Ok(out)
+}
+
+/// Renders `value` as compact JSON.
+pub fn to_string<T: ToJson + ?Sized>(value: &T) -> Result<String, Error> {
+    fn write_compact(v: &Value, out: &mut String) {
+        match v {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => out.push_str(&format_number(*n)),
+            Value::String(s) => escape_into(s, out),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_compact(item, out);
+                }
+                out.push(']');
+            }
+            Value::Object(map) => {
+                out.push('{');
+                for (i, (k, val)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_into(k, out);
+                    out.push(':');
+                    write_compact(val, out);
+                }
+                out.push('}');
+            }
+        }
+    }
+    let mut out = String::new();
+    write_compact(&value.to_json(), &mut out);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_nested_values() {
+        let summary: Vec<(String, f64)> = vec![("a".to_string(), 1.5)];
+        let notes: Vec<String> = vec!["n1".to_string()];
+        let v = json!({
+            "id": "fig5",
+            "summary": summary,
+            "notes": notes,
+            "count": 3,
+        });
+        let Value::Object(map) = &v else {
+            panic!("expected object")
+        };
+        assert_eq!(map["id"], Value::String("fig5".to_string()));
+        assert_eq!(map["count"], Value::Number(3.0));
+    }
+
+    #[test]
+    fn pretty_output_is_valid_and_ordered() {
+        let v = json!({"b": 2, "a": vec![1.0, 2.5], "s": "x\"y"});
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.starts_with('{'));
+        // BTreeMap ⇒ keys in sorted order.
+        assert!(s.find("\"a\"").unwrap() < s.find("\"b\"").unwrap());
+        assert!(s.contains("\\\""));
+        assert_eq!(to_string(&json!([1, 2])).unwrap(), "[1,2]");
+    }
+
+    #[test]
+    fn non_finite_numbers_render_null() {
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+    }
+}
