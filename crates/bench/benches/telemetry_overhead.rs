@@ -1,0 +1,72 @@
+//! Telemetry overhead: the cost of running the simulator hot path with
+//! the full tracing stack engaged (ring recorder + per-period capture +
+//! span timing) versus the identical run with telemetry disabled.
+//!
+//! The budget (DESIGN.md §7) is <5% wall-clock slowdown with the
+//! recorder enabled; the recorder itself must never allocate on the hot
+//! path — the ring is preallocated at construction.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use streamshed_control::loop_::LoopConfig;
+use streamshed_control::strategy::CtrlStrategy;
+use streamshed_engine::networks::identification_network;
+use streamshed_engine::sim::{SimConfig, Simulator};
+use streamshed_engine::telemetry::{SharedRecorder, TracingHook};
+use streamshed_engine::time::{secs, SimTime};
+
+const DURATION_S: u64 = 60;
+const RATE_TPS: f64 = 300.0;
+
+fn uniform_arrivals(rate: f64, dur_s: f64) -> Vec<SimTime> {
+    let n = (rate * dur_s) as u64;
+    let gap = 1e6 / rate;
+    (0..n)
+        .map(|i| SimTime((i as f64 * gap) as u64))
+        .collect()
+}
+
+fn sim_config(cfg: &LoopConfig) -> SimConfig {
+    SimConfig::paper_default()
+        .with_period(cfg.period())
+        .with_target_delay(cfg.target_delay())
+        .with_seed(7)
+}
+
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_overhead_60s");
+    group.sample_size(10);
+    let arrivals = uniform_arrivals(RATE_TPS, DURATION_S as f64);
+    group.throughput(Throughput::Elements(arrivals.len() as u64));
+    let loop_cfg = LoopConfig::paper_default();
+
+    // Baseline: controlled overload run, no telemetry anywhere.
+    group.bench_function("bare", |b| {
+        b.iter(|| {
+            let sim = Simulator::new(identification_network(), sim_config(&loop_cfg));
+            let mut hook = CtrlStrategy::from_config(&loop_cfg);
+            let report = sim.run(&arrivals, &mut hook, secs(DURATION_S));
+            black_box(report.completed)
+        });
+    });
+
+    // Same run with the full stack: TracingHook capturing one record per
+    // period into a shared ring, and the simulator timing shedder spans
+    // into the same recorder.
+    group.bench_function("traced", |b| {
+        b.iter(|| {
+            let recorder = SharedRecorder::with_capacity(DURATION_S as usize + 8);
+            let sim = Simulator::new(identification_network(), sim_config(&loop_cfg))
+                .with_telemetry(recorder.clone());
+            let mut hook =
+                TracingHook::shared(CtrlStrategy::from_config(&loop_cfg), recorder.clone());
+            let report = sim.run(&arrivals, &mut hook, secs(DURATION_S));
+            black_box((report.completed, recorder.len()))
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_telemetry_overhead);
+criterion_main!(benches);

@@ -39,6 +39,22 @@ impl FeedbackController {
     }
 
     /// The paper's published tuning (`b0 = 0.4, b1 = −0.31, a = −0.8`).
+    ///
+    /// These constants are not free choices: they fall out of placing a
+    /// double closed-loop pole at `z = 0.7` with `b0 = 0.4` fixed, and
+    /// the design equations recover them exactly:
+    ///
+    /// ```
+    /// use streamshed_control::controller::FeedbackController;
+    /// use streamshed_zdomain::design::{design_for_integrator, DesignSpec};
+    ///
+    /// // (z − 0.7)² = z² − 1.4z + 0.49, b0 = 0.4
+    /// let derived = design_for_integrator(&DesignSpec::from_double_pole(0.7));
+    /// let paper = FeedbackController::paper().params();
+    /// assert!((derived.b0 - paper.b0).abs() < 1e-12 && (paper.b0 - 0.4).abs() < 1e-12);
+    /// assert!((derived.b1 - paper.b1).abs() < 1e-12 && (paper.b1 + 0.31).abs() < 1e-12);
+    /// assert!((derived.a - paper.a).abs() < 1e-12 && (paper.a + 0.8).abs() < 1e-12);
+    /// ```
     pub fn paper() -> Self {
         Self::new(ControllerParams::PAPER)
     }

@@ -17,6 +17,20 @@ use crate::kalman::CostTracker;
 use crate::loop_::{LoopConfig, ShedMode, SignalRow};
 use crate::shedder::{EntryShedder, NetworkShedder};
 use streamshed_engine::hook::{ControlHook, Decision, PeriodSnapshot};
+use streamshed_engine::telemetry::{ControlState, InstrumentedHook, LoopMode};
+
+/// Maps a strategy's most recent [`SignalRow`] to the engine's
+/// telemetry [`ControlState`] (strategies acting alone run `Direct`).
+fn state_from_signals(signals: &[SignalRow]) -> Option<ControlState> {
+    signals.last().map(|r| ControlState {
+        y_hat_s: r.y_hat_s,
+        error_s: r.error_s,
+        u_tps: r.u_tps,
+        cost_est_us: r.cost_us,
+        mode: LoopMode::Direct,
+        fault_flags: 0,
+    })
+}
 
 /// A named load-shedding strategy.
 pub trait SheddingStrategy: ControlHook {
@@ -131,6 +145,12 @@ impl SheddingStrategy for CtrlStrategy {
     }
 }
 
+impl InstrumentedHook for CtrlStrategy {
+    fn control_state(&self) -> Option<ControlState> {
+        state_from_signals(&self.signals)
+    }
+}
+
 // ---------------------------------------------------------------------------
 // BASELINE
 // ---------------------------------------------------------------------------
@@ -222,6 +242,12 @@ impl SheddingStrategy for BaselineStrategy {
     }
 }
 
+impl InstrumentedHook for BaselineStrategy {
+    fn control_state(&self) -> Option<ControlState> {
+        state_from_signals(&self.signals)
+    }
+}
+
 // ---------------------------------------------------------------------------
 // AURORA
 // ---------------------------------------------------------------------------
@@ -288,6 +314,12 @@ impl SheddingStrategy for AuroraStrategy {
 
     fn signals(&self) -> &[SignalRow] {
         &self.signals
+    }
+}
+
+impl InstrumentedHook for AuroraStrategy {
+    fn control_state(&self) -> Option<ControlState> {
+        state_from_signals(&self.signals)
     }
 }
 
@@ -408,6 +440,21 @@ mod tests {
         assert!(
             a96.on_period(&s0).entry_drop_prob > a97.on_period(&s0).entry_drop_prob
         );
+    }
+
+    #[test]
+    fn control_state_mirrors_last_signal_row() {
+        let mut s = CtrlStrategy::paper_default();
+        assert!(s.control_state().is_none(), "no state before first period");
+        let _ = s.on_period(&snap(0, 400, 2000, Some(5105.0)));
+        let state = s.control_state().expect("one period logged");
+        let row = s.signals().last().unwrap();
+        assert_eq!(state.y_hat_s, row.y_hat_s);
+        assert_eq!(state.error_s, row.error_s);
+        assert_eq!(state.u_tps, row.u_tps);
+        assert_eq!(state.cost_est_us, row.cost_us);
+        assert_eq!(state.mode, LoopMode::Direct);
+        assert_eq!(state.fault_flags, 0);
     }
 
     #[test]

@@ -37,6 +37,7 @@ use crate::loop_::{LoopConfig, SignalRow};
 use crate::strategy::SheddingStrategy;
 use std::collections::VecDeque;
 use streamshed_engine::hook::{ControlHook, Decision, PeriodSnapshot};
+use streamshed_engine::telemetry::{ControlState, InstrumentedHook, LoopMode};
 
 /// Supervisor tuning.
 #[derive(Debug, Clone, PartialEq)]
@@ -407,6 +408,32 @@ impl<S: SheddingStrategy + Clone> ControlHook for Supervisor<S> {
     }
 }
 
+impl<S: SheddingStrategy + Clone + InstrumentedHook> InstrumentedHook for Supervisor<S> {
+    /// The supervised loop's state for telemetry.
+    ///
+    /// The mode mirrors [`SupervisorMode`]. While engaged, the inner
+    /// strategy's signals are reported verbatim; in hold or fallback the
+    /// inner loop is not consulted, so `y_hat_s`/`error_s`/`u_tps` are
+    /// NaN and only the last good cost estimate is carried through.
+    fn control_state(&self) -> Option<ControlState> {
+        let mode = match self.mode {
+            SupervisorMode::Engaged => LoopMode::Engaged,
+            SupervisorMode::Hold => LoopMode::Hold,
+            SupervisorMode::Fallback => LoopMode::Fallback,
+        };
+        let mut st = if self.mode == SupervisorMode::Engaged {
+            self.inner.control_state().unwrap_or_default()
+        } else {
+            ControlState {
+                cost_est_us: self.last_good_cost_us,
+                ..ControlState::default()
+            }
+        };
+        st.mode = mode;
+        Some(st)
+    }
+}
+
 impl<S: SheddingStrategy + Clone> SheddingStrategy for Supervisor<S> {
     fn name(&self) -> &'static str {
         "SUPERVISED"
@@ -604,6 +631,30 @@ mod tests {
         }
         assert!(sup.log().rejected_cost_samples > 0);
         assert!(sup.log().rejected_delay_samples > 0);
+    }
+
+    #[test]
+    fn control_state_tracks_supervisor_mode() {
+        let mut sup = supervised();
+        assert_eq!(
+            sup.control_state().unwrap().mode,
+            LoopMode::Engaged,
+            "engaged before any period"
+        );
+        let _ = sup.on_period(&snap(0, 400, Some(5105.0), Some(1900.0)));
+        let engaged = sup.control_state().unwrap();
+        assert_eq!(engaged.mode, LoopMode::Engaged);
+        assert!(engaged.y_hat_s.is_finite(), "inner signals pass through");
+        assert!((engaged.cost_est_us - 5105.0).abs() < 500.0);
+
+        // Dropout: hold, then fallback; inner signals are masked.
+        for k in 1..=6 {
+            let _ = sup.on_period(&snap(k, 400, None, None));
+        }
+        let st = sup.control_state().unwrap();
+        assert_eq!(st.mode, LoopMode::Fallback);
+        assert!(st.y_hat_s.is_nan() && st.error_s.is_nan() && st.u_tps.is_nan());
+        assert!((st.cost_est_us - 5105.0).abs() < 1e-9, "last good cost kept");
     }
 
     #[test]

@@ -27,6 +27,10 @@
 
 use crate::cost::CostSchedule;
 use crate::hook::{ControlHook, Decision, PeriodSnapshot};
+use crate::telemetry::{
+    ControlState, InstrumentedHook, FLAG_ACTUATOR_IGNORE, FLAG_ACTUATOR_PARTIAL, FLAG_COST_NAN,
+    FLAG_COST_SPIKE, FLAG_PERIOD_JITTER, FLAG_SENSOR_DROPOUT, FLAG_STALE_QUEUE,
+};
 use crate::time::SimTime;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -68,6 +72,22 @@ pub enum FaultKind {
         /// Multiplier on the reported control period.
         factor: f64,
     },
+}
+
+impl FaultKind {
+    /// The [`telemetry`](crate::telemetry) fault-flag bit recording this
+    /// fault class in a [`ControlTrace`](crate::telemetry::ControlTrace).
+    pub fn flag(&self) -> u16 {
+        match self {
+            FaultKind::SensorDropout => FLAG_SENSOR_DROPOUT,
+            FaultKind::StaleQueue => FLAG_STALE_QUEUE,
+            FaultKind::CostNan => FLAG_COST_NAN,
+            FaultKind::CostSpike { .. } => FLAG_COST_SPIKE,
+            FaultKind::ActuatorIgnore => FLAG_ACTUATOR_IGNORE,
+            FaultKind::ActuatorPartial { .. } => FLAG_ACTUATOR_PARTIAL,
+            FaultKind::PeriodJitter { .. } => FLAG_PERIOD_JITTER,
+        }
+    }
 }
 
 /// A fault active over a half-open period window `[from_k, to_k)`, firing
@@ -186,6 +206,8 @@ pub struct FaultyHook<H> {
     frozen_queue: Option<(u64, u64, f64)>,
     last_decision: Decision,
     log: FaultLog,
+    /// OR of the `telemetry::FLAG_*` bits that fired last period.
+    last_flags: u16,
 }
 
 impl<H: ControlHook> FaultyHook<H> {
@@ -199,12 +221,19 @@ impl<H: ControlHook> FaultyHook<H> {
             frozen_queue: None,
             last_decision: Decision::NONE,
             log: FaultLog::default(),
+            last_flags: 0,
         }
     }
 
     /// What was injected so far.
     pub fn log(&self) -> &FaultLog {
         &self.log
+    }
+
+    /// OR of the [`telemetry`](crate::telemetry) `FLAG_*` bits that
+    /// fired on the most recent period (0 when the period was clean).
+    pub fn last_fault_flags(&self) -> u16 {
+        self.last_flags
     }
 
     /// The wrapped hook.
@@ -223,6 +252,7 @@ impl<H: ControlHook> ControlHook for FaultyHook<H> {
         let mut snap = *snapshot;
         let mut actuator: Option<FaultKind> = None;
         let mut queue_frozen = false;
+        self.last_flags = 0;
 
         // Collect the faults firing this period; sensor faults mutate the
         // snapshot before the inner hook sees it, actuator faults mutate
@@ -241,24 +271,29 @@ impl<H: ControlHook> ControlHook for FaultyHook<H> {
                     snap.mean_delay_ms = None;
                     queue_frozen = true;
                     self.log.sensor_dropouts += 1;
+                    self.last_flags |= w.kind.flag();
                 }
                 FaultKind::StaleQueue => {
                     queue_frozen = true;
                     self.log.stale_queue_samples += 1;
+                    self.last_flags |= w.kind.flag();
                 }
                 FaultKind::CostNan => {
                     snap.measured_cost_us = Some(f64::NAN);
                     self.log.cost_corruptions += 1;
+                    self.last_flags |= w.kind.flag();
                 }
                 FaultKind::CostSpike { factor } => {
                     if let Some(c) = snap.measured_cost_us {
                         snap.measured_cost_us = Some(c * factor);
                         self.log.cost_corruptions += 1;
+                        self.last_flags |= w.kind.flag();
                     }
                 }
                 FaultKind::PeriodJitter { factor } => {
                     snap.period = snap.period.mul_f64(factor.max(1e-3));
                     self.log.jitter_events += 1;
+                    self.last_flags |= w.kind.flag();
                 }
                 FaultKind::ActuatorIgnore | FaultKind::ActuatorPartial { .. } => {
                     actuator = Some(w.kind);
@@ -284,12 +319,14 @@ impl<H: ControlHook> ControlHook for FaultyHook<H> {
 
         let commanded = self.inner.on_period(&snap);
         let applied = match actuator {
-            Some(FaultKind::ActuatorIgnore) => {
+            Some(k @ FaultKind::ActuatorIgnore) => {
                 self.log.actuator_faults += 1;
+                self.last_flags |= k.flag();
                 self.last_decision.clone()
             }
-            Some(FaultKind::ActuatorPartial { applied }) => {
+            Some(k @ FaultKind::ActuatorPartial { applied }) => {
                 self.log.actuator_faults += 1;
+                self.last_flags |= k.flag();
                 let f = applied.clamp(0.0, 1.0);
                 Decision {
                     entry_drop_prob: commanded.entry_drop_prob * f,
@@ -304,6 +341,19 @@ impl<H: ControlHook> ControlHook for FaultyHook<H> {
         };
         self.last_decision = applied.clone();
         applied
+    }
+}
+
+impl<H: InstrumentedHook> InstrumentedHook for FaultyHook<H> {
+    /// Forwards the wrapped hook's state, stamped with the fault flags
+    /// that fired last period — so a
+    /// [`TracingHook`](crate::telemetry::TracingHook) outside the fault
+    /// harness records both the controller's view and what interfered
+    /// with it.
+    fn control_state(&self) -> Option<ControlState> {
+        let mut state = self.inner.control_state().unwrap_or_default();
+        state.fault_flags |= self.last_flags;
+        Some(state)
     }
 }
 
@@ -371,6 +421,8 @@ mod tests {
             self.1.clone()
         }
     }
+
+    impl InstrumentedHook for Probe {}
 
     #[test]
     fn stale_queue_freezes_the_reading() {
@@ -510,6 +562,48 @@ mod tests {
         let mut again: Vec<SimTime> = (0..100).map(|i| SimTime(i * 100_000)).collect();
         inject_flash_flood(&mut again, 4.0, 6.0, 500, 7);
         assert_eq!(times, again);
+    }
+
+    #[test]
+    fn fault_flags_stamp_the_fired_period_only() {
+        let plan = FaultPlan::new(1)
+            .with(FaultWindow::new(FaultKind::StaleQueue, 1, 2))
+            .with(FaultWindow::new(FaultKind::ActuatorPartial { applied: 0.5 }, 1, 2));
+        let mut h = FaultyHook::new(Probe(Vec::new(), Decision::entry(0.4)), plan);
+        let _ = h.on_period(&snap(0, 50, Some(5000.0)));
+        assert_eq!(h.last_fault_flags(), 0, "clean period");
+        let _ = h.on_period(&snap(1, 50, Some(5000.0)));
+        assert_eq!(
+            h.last_fault_flags(),
+            FLAG_STALE_QUEUE | FLAG_ACTUATOR_PARTIAL
+        );
+        // The InstrumentedHook impl surfaces the same bits (the probe
+        // itself reports no state, so everything else defaults to NaN).
+        let state = h.control_state().expect("fault harness always reports");
+        assert_eq!(state.fault_flags, FLAG_STALE_QUEUE | FLAG_ACTUATOR_PARTIAL);
+        assert!(state.y_hat_s.is_nan());
+        let _ = h.on_period(&snap(2, 50, Some(5000.0)));
+        assert_eq!(h.last_fault_flags(), 0, "flags reset after the window");
+    }
+
+    #[test]
+    fn every_fault_kind_maps_to_a_distinct_flag() {
+        let kinds = [
+            FaultKind::SensorDropout,
+            FaultKind::StaleQueue,
+            FaultKind::CostNan,
+            FaultKind::CostSpike { factor: 2.0 },
+            FaultKind::ActuatorIgnore,
+            FaultKind::ActuatorPartial { applied: 0.5 },
+            FaultKind::PeriodJitter { factor: 2.0 },
+        ];
+        let mut seen = 0u16;
+        for k in kinds {
+            let f = k.flag();
+            assert_eq!(f.count_ones(), 1, "single bit per kind");
+            assert_eq!(seen & f, 0, "no two kinds share a bit");
+            seen |= f;
+        }
     }
 
     #[test]

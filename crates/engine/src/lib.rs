@@ -23,6 +23,9 @@
 //! Two runners are provided: the deterministic virtual-time
 //! [`sim::Simulator`] used by all experiments, and a real-time threaded
 //! runner in [`rt`] demonstrating the same loop against the wall clock.
+//! Both, plus the fault harness, emit one structured [`telemetry`]
+//! record per control period through the same [`hook::ControlHook`]
+//! seam.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -37,6 +40,7 @@ pub mod networks;
 pub mod operator;
 pub mod rt;
 pub mod sim;
+pub mod telemetry;
 pub mod time;
 pub mod tuple;
 
@@ -45,5 +49,9 @@ pub use hook::{ControlHook, Decision, NoShedding, PeriodSnapshot};
 pub use metrics::{DelayStats, RunReport};
 pub use network::{NetworkBuilder, NodeId, QueryNetwork};
 pub use sim::{SimConfig, Simulator};
+pub use telemetry::{
+    ControlState, ControlTrace, EventSink, InstrumentedHook, LoopMode, RingRecorder,
+    SharedRecorder, TracingHook,
+};
 pub use time::{micros, millis, millis_f64, secs, secs_f64, SimDuration, SimTime};
 pub use tuple::{RootId, Tuple};

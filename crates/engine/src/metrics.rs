@@ -60,6 +60,10 @@ impl DelayHistogram {
     }
 
     /// Approximate quantile (e.g. `0.99`), or `None` when empty.
+    ///
+    /// `q` is clamped to `[0, 1]`; `q = 0` answers with the first
+    /// occupied bucket, so a histogram whose samples all landed in one
+    /// bucket reports the same value for every quantile.
     pub fn quantile(&self, q: f64) -> Option<f64> {
         if self.total == 0 {
             return None;
@@ -73,11 +77,21 @@ impl DelayHistogram {
                 return Some(Self::bucket_upper_ms(i));
             }
         }
-        Some(Self::bucket_upper_ms(HIST_BUCKETS - 1))
+        // Degenerate layouts (total out of sync with counts) saturate at
+        // the last bucket rather than panicking.
+        Some(Self::bucket_upper_ms(self.counts.len().max(1) - 1))
     }
 
     /// Merges another histogram into this one.
+    ///
+    /// Robust to bucket-count mismatches (histograms that crossed a
+    /// serialisation boundary, or were built by an older layout): the
+    /// receiver grows to the larger layout and no sample is silently
+    /// dropped, so `Σ counts == total` holds afterwards.
     pub fn merge(&mut self, other: &DelayHistogram) {
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += b;
         }
@@ -181,7 +195,7 @@ pub struct PeriodRecord {
 }
 
 /// Per-operator counters over a run.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NodeStat {
     /// Operator name.
     pub name: String,
@@ -189,6 +203,13 @@ pub struct NodeStat {
     pub processed: u64,
     /// Output tuples emitted (post-selectivity, pre-fanout).
     pub emitted: u64,
+    /// Tuples shed from this operator's queues (for entry operators this
+    /// includes input-buffer victims destined for them).
+    pub shed: u64,
+    /// EWMA of the operator's per-invocation CPU cost, µs (`NaN` if the
+    /// operator never ran). Tracks cost drift the way the controller's
+    /// own estimator does, per operator.
+    pub cost_ewma_us: f64,
 }
 
 impl NodeStat {
@@ -424,6 +445,57 @@ mod tests {
         b.record(20.0);
         a.merge(&b);
         assert_eq!(a.count(), 2);
+    }
+
+    #[test]
+    fn histogram_merge_empty_is_identity_both_ways() {
+        let mut a = DelayHistogram::new();
+        a.record(10.0);
+        let before = a.clone();
+        a.merge(&DelayHistogram::new());
+        assert_eq!(a, before, "merging an empty histogram changes nothing");
+        let mut empty = DelayHistogram::new();
+        empty.merge(&before);
+        assert_eq!(empty, before, "merging into an empty histogram copies");
+    }
+
+    #[test]
+    fn histogram_merge_handles_bucket_count_mismatch() {
+        // A truncated layout (e.g. an older serialised histogram) must
+        // not lose the wider histogram's tail samples.
+        let mut small = DelayHistogram::new();
+        small.counts.truncate(3);
+        small.record(0.05); // bucket 0
+        let mut wide = DelayHistogram::new();
+        wide.record(1e6); // deep-tail bucket, far beyond index 2
+        small.merge(&wide);
+        assert_eq!(small.count(), 2);
+        let sum: u64 = small.counts.iter().sum();
+        assert_eq!(sum, small.count(), "no sample silently dropped");
+        assert!(small.quantile(1.0).unwrap() >= 1e6 * 0.8);
+    }
+
+    #[test]
+    fn histogram_single_bucket_quantiles_coincide() {
+        let mut h = DelayHistogram::new();
+        for _ in 0..50 {
+            h.record(10.0);
+        }
+        let q0 = h.quantile(0.0).unwrap();
+        let q50 = h.quantile(0.5).unwrap();
+        let q100 = h.quantile(1.0).unwrap();
+        assert_eq!(q0, q50);
+        assert_eq!(q50, q100);
+        assert!((9.0..=12.0).contains(&q100), "bucket bounds 10 ms, got {q100}");
+    }
+
+    #[test]
+    fn histogram_quantile_bounds_are_clamped() {
+        let mut h = DelayHistogram::new();
+        h.record(5.0);
+        assert_eq!(h.quantile(-1.0), h.quantile(0.0));
+        assert_eq!(h.quantile(2.0), h.quantile(1.0));
+        assert_eq!(DelayHistogram::new().quantile(1.0), None);
     }
 
     #[test]

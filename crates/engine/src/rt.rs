@@ -23,6 +23,7 @@
 //! overran.
 
 use crate::hook::{ControlHook, PeriodSnapshot};
+use crate::telemetry::PromText;
 use crate::time::{SimDuration, SimTime};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
@@ -84,6 +85,11 @@ struct Shared {
     delay_max_us: AtomicU64,
     delayed: AtomicU64,
     violation_sum_us: AtomicU64,
+    // Controller hot-path span accounting (wall-clock time inside the
+    // hook), for the Prometheus snapshot.
+    hook_ns_total: AtomicU64,
+    hook_ns_max: AtomicU64,
+    periods: AtomicU64,
     stop: AtomicBool,
     hook_log: Mutex<Vec<PeriodSnapshot>>,
 }
@@ -106,6 +112,9 @@ impl Shared {
             delay_max_us: AtomicU64::new(0),
             delayed: AtomicU64::new(0),
             violation_sum_us: AtomicU64::new(0),
+            hook_ns_total: AtomicU64::new(0),
+            hook_ns_max: AtomicU64::new(0),
+            periods: AtomicU64::new(0),
             stop: AtomicBool::new(false),
             hook_log: Mutex::new(Vec::new()),
         }
@@ -288,7 +297,12 @@ impl RtEngine {
                         },
                         cpu_busy_us: completed * cfg.cost.as_micros() as u64,
                     };
+                    let t0 = Instant::now();
                     let decision = hook.on_period(&snapshot);
+                    let hook_ns = t0.elapsed().as_nanos() as u64;
+                    shared.hook_ns_total.fetch_add(hook_ns, Ordering::Relaxed);
+                    shared.hook_ns_max.fetch_max(hook_ns, Ordering::Relaxed);
+                    shared.periods.fetch_add(1, Ordering::Relaxed);
                     shared.hook_log.lock().push(snapshot);
                     shared.alpha_bits.store(
                         decision.entry_drop_prob.clamp(0.0, 1.0).to_bits(),
@@ -351,6 +365,102 @@ impl RtEngine {
     /// Current queue length (outstanding tuples).
     pub fn queue_len(&self) -> u64 {
         self.shared.queue_len.load(Ordering::Relaxed)
+    }
+
+    /// A live snapshot of the engine's counters in the Prometheus text
+    /// exposition format (`streamshed_*` metrics) — what a `/metrics`
+    /// endpoint would serve. Callable at any point while the engine runs;
+    /// reads are relaxed atomics, so the snapshot is cheap and
+    /// non-blocking.
+    pub fn prometheus_text(&self) -> String {
+        let s = &self.shared;
+        let completed = s.completed.load(Ordering::Relaxed);
+        let delay_sum_us = s.delay_sum_us.load(Ordering::Relaxed);
+        let periods = s.periods.load(Ordering::Relaxed);
+        let hook_total = s.hook_ns_total.load(Ordering::Relaxed);
+        let mut p = PromText::new("streamshed");
+        p.counter(
+            "offered_total",
+            "Tuples offered to the engine",
+            s.offered.load(Ordering::Relaxed) as f64,
+        )
+        .counter(
+            "dropped_entry_total",
+            "Tuples dropped by the entry shedder (incl. capacity rejections)",
+            s.dropped_entry.load(Ordering::Relaxed) as f64,
+        )
+        .counter(
+            "dropped_shed_total",
+            "Tuples dropped by in-queue shedding",
+            s.dropped_shed.load(Ordering::Relaxed) as f64,
+        )
+        .counter("completed_total", "Tuples fully processed", completed as f64)
+        .counter(
+            "rejected_capacity_total",
+            "Arrivals rejected because the bounded queue was full",
+            s.rejected_capacity.load(Ordering::Relaxed) as f64,
+        )
+        .counter(
+            "worker_panics_total",
+            "Worker panics caught and recovered",
+            s.worker_panics.load(Ordering::Relaxed) as f64,
+        )
+        .counter(
+            "deadline_misses_total",
+            "Control-period boundaries serviced more than T/2 late",
+            s.deadline_misses.load(Ordering::Relaxed) as f64,
+        )
+        .counter(
+            "delayed_total",
+            "Completed tuples whose delay exceeded the target",
+            s.delayed.load(Ordering::Relaxed) as f64,
+        )
+        .counter(
+            "violation_us_total",
+            "Accumulated delay violation over completed tuples, microseconds",
+            s.violation_sum_us.load(Ordering::Relaxed) as f64,
+        )
+        .counter(
+            "control_periods_total",
+            "Control-hook invocations",
+            periods as f64,
+        )
+        .counter(
+            "hook_time_ns_total",
+            "Wall-clock nanoseconds spent inside the control hook",
+            hook_total as f64,
+        )
+        .gauge(
+            "hook_time_max_ns",
+            "Longest single control-hook invocation, nanoseconds",
+            s.hook_ns_max.load(Ordering::Relaxed) as f64,
+        )
+        .gauge(
+            "queue_len",
+            "Tuples currently queued",
+            s.queue_len.load(Ordering::Relaxed) as f64,
+        )
+        .gauge("alpha", "Entry drop probability currently in force", s.alpha())
+        .gauge(
+            "shed_budget",
+            "In-queue shed budget outstanding, tuples",
+            s.shed_budget.load(Ordering::Relaxed) as f64,
+        )
+        .gauge(
+            "delay_mean_ms",
+            "Mean delay of completed tuples, milliseconds",
+            if completed > 0 {
+                delay_sum_us as f64 / completed as f64 / 1e3
+            } else {
+                0.0
+            },
+        )
+        .gauge(
+            "delay_max_ms",
+            "Maximum observed delay, milliseconds",
+            s.delay_max_us.load(Ordering::Relaxed) as f64 / 1e3,
+        );
+        p.finish()
     }
 
     /// Stops the engine, joins both threads, and returns the final report.
@@ -581,6 +691,35 @@ mod tests {
         std::thread::sleep(Duration::from_millis(150));
         let report = engine.shutdown();
         assert!(report.deadline_misses >= 1, "{}", report.deadline_misses);
+    }
+
+    #[test]
+    fn prometheus_snapshot_exposes_live_counters() {
+        let cfg = RtConfig {
+            cost: Duration::from_micros(200),
+            period: Duration::from_millis(10),
+            target_delay: Duration::from_millis(50),
+            headroom: 1.0,
+            queue_capacity: 4096,
+            panic_on_tuple: None,
+        };
+        let engine = RtEngine::spawn(cfg, NoShedding);
+        for _ in 0..40 {
+            engine.offer();
+        }
+        std::thread::sleep(Duration::from_millis(50));
+        let text = engine.prometheus_text();
+        assert!(text.contains("# TYPE streamshed_offered_total counter"));
+        assert!(text.contains("streamshed_offered_total 40"));
+        assert!(text.contains("# TYPE streamshed_queue_len gauge"));
+        assert!(text.contains("streamshed_control_periods_total"));
+        assert!(text.contains("streamshed_hook_time_ns_total"));
+        // Every sample line has HELP and TYPE preambles.
+        let samples = text.lines().filter(|l| !l.starts_with('#')).count();
+        let types = text.lines().filter(|l| l.starts_with("# TYPE")).count();
+        assert_eq!(samples, types);
+        let report = engine.shutdown();
+        assert_eq!(report.completed, 40);
     }
 
     #[test]

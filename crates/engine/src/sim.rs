@@ -20,6 +20,7 @@ use crate::cost::CostSchedule;
 use crate::hook::{ControlHook, Decision, PeriodSnapshot};
 use crate::metrics::{MetricsAccumulator, PeriodRecord, RunReport};
 use crate::network::{NodeId, QueryNetwork};
+use crate::telemetry::{EventSink, SharedRecorder, SpanKind};
 use crate::operator::OutputBuffer;
 use crate::time::{secs, SimDuration, SimTime};
 use crate::tuple::{RootId, Tuple};
@@ -214,9 +215,19 @@ pub struct Simulator {
     train_left: u64,
     node_processed: Vec<u64>,
     node_emitted: Vec<u64>,
+    node_shed: Vec<u64>,
+    /// Per-operator EWMA of the per-invocation CPU cost (µs); NaN until
+    /// the operator first runs.
+    node_cost_ewma: Vec<f64>,
+    /// Optional telemetry sink for engine-side spans (shedder hot path).
+    telemetry: Option<SharedRecorder>,
     /// Wall-clock anchor for paced runs (set on first loop iteration).
     pacing_started: Option<std::time::Instant>,
 }
+
+/// EWMA smoothing factor for per-operator cost tracking (the same order
+/// as the controller's own cost estimator).
+const COST_EWMA_ALPHA: f64 = 0.2;
 
 impl Simulator {
     /// Creates a simulator over a query network.
@@ -245,6 +256,9 @@ impl Simulator {
             train_left: 0,
             node_processed: vec![0; n_nodes],
             node_emitted: vec![0; n_nodes],
+            node_shed: vec![0; n_nodes],
+            node_cost_ewma: vec![f64::NAN; n_nodes],
+            telemetry: None,
             pacing_started: None,
         }
     }
@@ -252,6 +266,15 @@ impl Simulator {
     /// The underlying network.
     pub fn network(&self) -> &QueryNetwork {
         &self.network
+    }
+
+    /// Attaches a telemetry recorder: the engine reports its shedder
+    /// hot-path spans ([`SpanKind::Shedder`]) into it. Share the same
+    /// recorder with a [`TracingHook`](crate::telemetry::TracingHook) to
+    /// get hook spans and per-period traces in one place.
+    pub fn with_telemetry(mut self, recorder: SharedRecorder) -> Self {
+        self.telemetry = Some(recorder);
+        self
     }
 
     /// Runs the simulation for `duration`, admitting tuples at the given
@@ -380,7 +403,11 @@ impl Simulator {
                 next_boundary += period;
 
                 if decision.shed_load_us > 0.0 {
+                    let t0 = std::time::Instant::now();
                     let dropped = self.shed_load(decision.shed_load_us);
+                    if let Some(rec) = self.telemetry.as_mut() {
+                        rec.record_span(SpanKind::Shedder, t0.elapsed().as_nanos() as u64);
+                    }
                     p_dropped_network += dropped;
                     metrics.dropped_network += dropped;
                 }
@@ -430,11 +457,13 @@ impl Simulator {
             .network
             .nodes()
             .iter()
-            .zip(self.node_processed.iter().zip(&self.node_emitted))
-            .map(|(node, (&processed, &emitted))| crate::metrics::NodeStat {
+            .enumerate()
+            .map(|(i, node)| crate::metrics::NodeStat {
                 name: node.name.clone(),
-                processed,
-                emitted,
+                processed: self.node_processed[i],
+                emitted: self.node_emitted[i],
+                shed: self.node_shed[i],
+                cost_ewma_us: self.node_cost_ewma[i],
             })
             .collect();
         metrics.finish_with_nodes(node_stats)
@@ -585,6 +614,13 @@ impl Simulator {
         let base = self.network.nodes()[node_idx].cost;
         let work = base.mul_f64(mult);
         let wall = work.mul_f64(1.0 / self.cfg.headroom);
+        let w_us = work.as_micros() as f64;
+        let ewma = &mut self.node_cost_ewma[node_idx];
+        *ewma = if ewma.is_nan() {
+            w_us
+        } else {
+            (1.0 - COST_EWMA_ALPHA) * *ewma + COST_EWMA_ALPHA * w_us
+        };
         (work.as_micros(), wall)
     }
 
@@ -610,6 +646,7 @@ impl Simulator {
                         Some((entry, t)) => {
                             shed += self.network.downstream_load_us(NodeId(entry));
                             dropped += 1;
+                            self.node_shed[entry] += 1;
                             let _ = self.roots.consume(t.root);
                         }
                         None => break,
@@ -622,6 +659,7 @@ impl Simulator {
                         Some((entry, t)) => {
                             shed += self.network.downstream_load_us(NodeId(entry));
                             dropped += 1;
+                            self.node_shed[entry] += 1;
                             let _ = self.roots.consume(t.root);
                         }
                         None => break,
@@ -649,6 +687,7 @@ impl Simulator {
                         let (entry, t) = self.input_buffer[idx];
                         shed += self.network.downstream_load_us(NodeId(entry));
                         dropped += 1;
+                        self.node_shed[entry] += 1;
                         let _ = self.roots.consume(t.root);
                         doomed[idx] = true;
                     }
@@ -677,6 +716,7 @@ impl Simulator {
                             self.total_queued -= 1;
                             shed += per_tuple;
                             dropped += 1;
+                            self.node_shed[i] += 1;
                             // A shed root that reaches zero copies departs
                             // silently — it is loss, not a delay sample.
                             let _ = self.roots.consume(t.root);
@@ -726,6 +766,7 @@ impl Simulator {
                             self.total_queued -= 1;
                             shed += per_tuple;
                             dropped += 1;
+                            self.node_shed[i] += 1;
                             let _ = self.roots.consume(t.root);
                         }
                         None => break,
@@ -749,6 +790,7 @@ impl Simulator {
                     doomed[idx] = true;
                     shed += per_tuple;
                     dropped += 1;
+                    self.node_shed[i] += 1;
                     let _ = self.roots.consume(t.root);
                 }
                 let mut k = 0;
@@ -1144,6 +1186,46 @@ mod tests {
         let t1 = std::time::Instant::now();
         let _ = sim2.run(&arrivals, &mut NoShedding, secs(2));
         assert!(t1.elapsed() < wall / 3);
+    }
+
+    #[test]
+    fn node_stats_report_shed_and_cost_ewma() {
+        use crate::telemetry::{SharedRecorder, SpanKind};
+        let rec = SharedRecorder::with_capacity(32);
+        let net = unit_network(millis(5));
+        let sim = Simulator::new(net, SimConfig::paper_default()).with_telemetry(rec.clone());
+        let arrivals = uniform_arrivals(400.0, 10.0);
+        let mut hook = |s: &PeriodSnapshot| {
+            if s.k >= 2 {
+                Decision::network(500_000.0)
+            } else {
+                Decision::NONE
+            }
+        };
+        let report = sim.run(&arrivals, &mut hook, secs(10));
+        let stat = &report.node_stats[0];
+        assert!(stat.shed > 0, "in-network victims attributed to the node");
+        assert_eq!(stat.shed, report.dropped_network);
+        // Constant 5 ms cost → the EWMA converges to 5000 µs exactly.
+        assert!((stat.cost_ewma_us - 5000.0).abs() < 1.0, "{}", stat.cost_ewma_us);
+        // The engine timed its shed operations into the shared recorder.
+        let span = rec.span_stats(SpanKind::Shedder);
+        assert!(span.count >= 7, "one shed per period from k=2, got {}", span.count);
+    }
+
+    #[test]
+    fn unused_operator_has_nan_cost_ewma() {
+        // Filter passes ~nothing downstream → downstream op may never run.
+        let mut b = NetworkBuilder::new();
+        let f = b.add("f", millis(1), Filter::value_below(0.0));
+        let m = b.add("m", millis(1), Map::identity());
+        b.connect(f, m);
+        b.entry(f);
+        let sim = Simulator::new(b.build().unwrap(), SimConfig::paper_default());
+        let report = sim.run(&uniform_arrivals(50.0, 2.0), &mut NoShedding, secs(2));
+        assert!(report.node_stats[0].cost_ewma_us.is_finite());
+        assert!(report.node_stats[1].cost_ewma_us.is_nan());
+        assert_eq!(report.node_stats[1].shed, 0);
     }
 
     #[test]

@@ -2,17 +2,48 @@
 //!
 //! ```text
 //! reproduce [--out DIR] [--seed N] [fig5 fig6 ... | all]
+//! reproduce trace --scenario KEY [--out DIR] [--seed N]
 //! ```
 //!
 //! Writes `DIR/<fig>.csv` + `DIR/<fig>.json` for each figure and prints
-//! ASCII renderings with paper-vs-measured notes.
+//! ASCII renderings with paper-vs-measured notes. The `trace` subcommand
+//! replays one fault scenario with the telemetry recorder engaged and
+//! writes `DIR/trace_<scenario>.jsonl` + `.csv` (see
+//! `streamshed_experiments::trace`).
 
+use std::io::Write as _;
 use std::path::PathBuf;
 use streamshed_experiments as exp;
+
+fn run_trace(scenario: &str, out_dir: &PathBuf, seed: u64) {
+    if !exp::faults::SCENARIOS.contains(&scenario) {
+        eprintln!(
+            "unknown scenario '{scenario}'; known: {}",
+            exp::faults::SCENARIOS.join(", ")
+        );
+        std::process::exit(2);
+    }
+    let start = std::time::Instant::now();
+    let result = exp::trace::run(scenario, seed);
+    print!("{}", result.render_summary());
+    println!("  [trace regenerated in {:.1?}]\n", start.elapsed());
+    if let Err(e) = std::fs::create_dir_all(out_dir) {
+        eprintln!("failed to create {}: {e}", out_dir.display());
+        std::process::exit(1);
+    }
+    for (ext, body) in [("jsonl", result.to_jsonl()), ("csv", result.to_csv())] {
+        let path = out_dir.join(format!("trace_{scenario}.{ext}"));
+        match std::fs::File::create(&path).and_then(|mut f| f.write_all(body.as_bytes())) {
+            Ok(()) => println!("trace written to {}", path.display()),
+            Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+        }
+    }
+}
 
 fn main() {
     let mut out_dir = PathBuf::from("results");
     let mut seed = 7u64;
+    let mut scenario: Option<String> = None;
     let mut wanted: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -28,16 +59,30 @@ fn main() {
                     .parse()
                     .expect("seed must be an integer");
             }
+            "--scenario" => {
+                scenario = Some(args.next().expect("--scenario needs a scenario key"));
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: reproduce [--out DIR] [--seed N] [fig5 fig6 fig7 fig8 fig12 \
                      fig13 fig14 fig15 fig16 fig17 fig18 fig19 overhead ablations \
-                     extensions faults | all]"
+                     extensions faults | all]\n       \
+                     reproduce trace --scenario KEY [--out DIR] [--seed N]\n       \
+                     scenarios: {}",
+                    exp::faults::SCENARIOS.join(", ")
                 );
                 return;
             }
             other => wanted.push(other.to_string()),
         }
+    }
+    if wanted.iter().any(|w| w == "trace") {
+        let key = scenario.unwrap_or_else(|| {
+            eprintln!("trace needs --scenario KEY (one of: {})", exp::faults::SCENARIOS.join(", "));
+            std::process::exit(2);
+        });
+        run_trace(&key, &out_dir, seed);
+        return;
     }
     if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
         wanted = vec![

@@ -29,7 +29,9 @@ use streamshed_engine::sim::{SimConfig, Simulator};
 use streamshed_engine::time::{secs, SimTime};
 use streamshed_workload::{to_micros, ArrivalTrace, StepTrace};
 
-const DURATION_S: u64 = 200;
+/// Run length of every scenario cell (seconds). Shared with
+/// [`crate::trace`] so a traced replay sees the identical workload.
+pub const DURATION_S: u64 = 200;
 const RATE_TPS: f64 = 300.0;
 
 /// The scenario keys of the matrix, in display order.
@@ -47,7 +49,7 @@ pub const SCENARIOS: &[&str] = &[
 ];
 
 /// The fault plan for one scenario key.
-fn plan_for(key: &str, seed: u64) -> FaultPlan {
+pub fn plan_for(key: &str, seed: u64) -> FaultPlan {
     let plan = FaultPlan::new(seed);
     match key {
         // Freeze the queue reading from the very start of the run, while
@@ -75,8 +77,9 @@ fn plan_for(key: &str, seed: u64) -> FaultPlan {
     }
 }
 
-/// Runs one (scenario, strategy) cell and returns the engine report.
-fn run_cell(key: &str, supervised: bool, seed: u64) -> RunReport {
+/// The simulator configuration for one scenario (the `stall` scenario
+/// perturbs the plant through a cost schedule rather than the hook).
+pub fn scenario_sim_config(key: &str, seed: u64) -> SimConfig {
     let loop_cfg = LoopConfig::paper_default();
     let mut sim_cfg = SimConfig::paper_default()
         .with_period(loop_cfg.period())
@@ -86,12 +89,26 @@ fn run_cell(key: &str, supervised: bool, seed: u64) -> RunReport {
         // An operator stalls (6× cost) for 40 s.
         sim_cfg = sim_cfg.with_cost_schedule(stall_schedule(&[(100.0, 140.0, 6.0)]));
     }
+    sim_cfg
+}
+
+/// The arrival instants for one scenario (the `flash_flood` scenario
+/// injects a burst on top of the base rate).
+pub fn scenario_arrivals(key: &str, seed: u64) -> Vec<SimTime> {
     let times = StepTrace::constant(RATE_TPS).arrival_times(DURATION_S as f64);
     let mut arrivals: Vec<SimTime> = to_micros(&times).into_iter().map(SimTime).collect();
     if key == "flash_flood" {
         // +300 t/s on top of the base rate for 10 s.
         inject_flash_flood(&mut arrivals, 100.0, 110.0, 3000, seed);
     }
+    arrivals
+}
+
+/// Runs one (scenario, strategy) cell and returns the engine report.
+fn run_cell(key: &str, supervised: bool, seed: u64) -> RunReport {
+    let loop_cfg = LoopConfig::paper_default();
+    let sim_cfg = scenario_sim_config(key, seed);
+    let arrivals = scenario_arrivals(key, seed);
     let plan = plan_for(key, seed);
     let sim = Simulator::new(identification_network(), sim_cfg);
     if supervised {

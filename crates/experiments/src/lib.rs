@@ -21,6 +21,10 @@
 //! | [`fig18`] | runtime target changes 1 s → 3 s → 5 s |
 //! | [`fig19`] | control-period sweep 31.25 ms – 8 s |
 //! | [`overhead`] | §5.1 controller computational overhead |
+//!
+//! Beyond the paper's figures, [`faults`] runs the robustness fault
+//! matrix and [`trace`] replays one of its scenarios with the full
+//! telemetry stack engaged (`reproduce trace --scenario <key>`).
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -43,6 +47,7 @@ pub mod fig19;
 pub mod overhead;
 pub mod render;
 pub mod runner;
+pub mod trace;
 
 pub use render::{render_ascii_chart, render_table};
 pub use runner::{

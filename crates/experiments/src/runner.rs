@@ -12,6 +12,7 @@ use streamshed_engine::hook::{ControlHook, Decision, PeriodSnapshot};
 use streamshed_engine::metrics::RunReport;
 use streamshed_engine::networks::identification_network;
 use streamshed_engine::sim::{SimConfig, Simulator};
+use streamshed_engine::telemetry::{ControlState, ControlTrace, InstrumentedHook, TracingHook};
 use streamshed_engine::time::{secs, SimTime};
 use streamshed_workload::{to_micros, CostTrace};
 
@@ -105,6 +106,9 @@ pub struct StrategyOutcome {
     pub signals: Vec<SignalRow>,
     /// The four paper metrics.
     pub metrics: MetricsSummary,
+    /// One telemetry record per control period (newest-last; bounded by
+    /// the run's period count, so nothing is overwritten).
+    pub traces: Vec<ControlTrace>,
 }
 
 /// A runtime delay-target schedule: `(from_period, target_seconds)` pairs
@@ -145,6 +149,15 @@ impl AnyStrategy {
             AnyStrategy::None => Vec::new(),
         }
     }
+
+    fn control_state(&self) -> Option<ControlState> {
+        match self {
+            AnyStrategy::Ctrl(s) => s.control_state(),
+            AnyStrategy::Baseline(s) => s.control_state(),
+            AnyStrategy::Aurora(s) => s.control_state(),
+            AnyStrategy::None => None,
+        }
+    }
 }
 
 struct ScheduledHook {
@@ -160,6 +173,12 @@ impl ControlHook for ScheduledHook {
             self.next += 1;
         }
         self.strategy.on_period(snap)
+    }
+}
+
+impl InstrumentedHook for ScheduledHook {
+    fn control_state(&self) -> Option<ControlState> {
+        self.strategy.control_state()
     }
 }
 
@@ -207,21 +226,27 @@ pub fn run_with_strategy(
         }
         StrategyKind::NoShedding => AnyStrategy::None,
     };
-    let mut hook = ScheduledHook {
+    let scheduled = ScheduledHook {
         strategy,
         schedule: target_schedule.unwrap_or_default(),
         next: 0,
     };
+    // Ring sized to the run's period count: every period survives.
+    let period_count =
+        (duration_s as f64 / loop_cfg.period().as_secs_f64()).ceil() as usize + 8;
+    let mut hook = TracingHook::new(scheduled, period_count);
 
     let arrivals: Vec<SimTime> = to_micros(times).into_iter().map(SimTime).collect();
     let sim = Simulator::new(network, sim_cfg);
     let report = sim.run(&arrivals, &mut hook, secs(duration_s));
     let metrics = MetricsSummary::from_report(&report);
+    let (scheduled, recorder) = hook.into_parts();
     StrategyOutcome {
         name: kind.name().to_string(),
         report,
-        signals: hook.strategy.signals(),
+        signals: scheduled.strategy.signals(),
         metrics,
+        traces: recorder.to_vec(),
     }
 }
 
@@ -245,6 +270,31 @@ mod tests {
         assert_eq!(out.name, "CTRL");
         assert_eq!(out.signals.len(), 30);
         assert!(out.metrics.loss_ratio > 0.1);
+    }
+
+    #[test]
+    fn runner_traces_mirror_the_signal_log() {
+        let times = StepTrace::constant(300.0).arrival_times(30.0);
+        let out = run_with_strategy(
+            StrategyKind::Ctrl,
+            &times,
+            &LoopConfig::paper_default(),
+            30,
+            None,
+            None,
+            1,
+        );
+        assert_eq!(out.traces.len(), out.signals.len());
+        for (t, s) in out.traces.iter().zip(&out.signals) {
+            assert_eq!(t.k, s.k);
+            assert!(
+                (t.y_hat_s - s.y_hat_s).abs() < 1e-12,
+                "period {}: trace ŷ {} vs signal ŷ {}",
+                t.k,
+                t.y_hat_s,
+                s.y_hat_s
+            );
+        }
     }
 
     #[test]

@@ -121,6 +121,20 @@ impl DesignSpec {
 /// Matching `(z + a)(z − 1) + (b0·z + b1) = z² + p1·z + p0` gives
 /// `a = p1 + 1 − b0` and `b1 = p0 + a`. Panics if the specification's CLCE
 /// is not a monic quadratic.
+///
+/// The paper places a double closed-loop pole at `z = 0.7`, i.e.
+/// `(z − 0.7)² = z² − 1.4z + 0.49`, and fixes `b0 = 0.4`; the design
+/// equations then give exactly the published constants `b1 = −0.31`
+/// and `a = −0.8`:
+///
+/// ```
+/// use streamshed_zdomain::design::{design_for_integrator, DesignSpec};
+///
+/// let params = design_for_integrator(&DesignSpec::from_double_pole(0.7));
+/// assert!((params.b0 - 0.4).abs() < 1e-12);
+/// assert!((params.b1 - (-0.31)).abs() < 1e-12); // b1 = 0.49 + a
+/// assert!((params.a - (-0.8)).abs() < 1e-12);   // a  = −1.4 + 1 − 0.4
+/// ```
 pub fn design_for_integrator(spec: &DesignSpec) -> ControllerParams {
     assert_eq!(spec.clce.degree(), 2, "CLCE must be quadratic");
     let clce = spec.clce.monic();
