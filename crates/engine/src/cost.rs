@@ -51,6 +51,24 @@ impl CostSchedule {
         }
     }
 
+    /// The multiplier in effect at `t` together with the first instant at
+    /// which it may change (exclusive). Lets hot paths cache per-segment
+    /// derived values and re-query only when the clock crosses the
+    /// returned boundary.
+    pub fn segment(&self, t: SimTime) -> (f64, SimTime) {
+        let next = |i: usize| {
+            self.points
+                .get(i)
+                .map(|&(pt, _)| pt)
+                .unwrap_or(SimTime(u64::MAX))
+        };
+        match self.points.binary_search_by_key(&t, |&(pt, _)| pt) {
+            Ok(i) => (self.points[i].1, next(i + 1)),
+            Err(0) => (1.0, next(0)),
+            Err(i) => (self.points[i - 1].1, next(i)),
+        }
+    }
+
     /// Number of breakpoints.
     pub fn len(&self) -> usize {
         self.points.len()
@@ -99,5 +117,27 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn rejects_nonpositive_multiplier() {
         let _ = CostSchedule::from_points(vec![(SimTime::ZERO, 0.0)]);
+    }
+
+    #[test]
+    fn segment_agrees_with_multiplier() {
+        let s = CostSchedule::from_points(vec![
+            (SimTime::ZERO + secs(5), 1.5),
+            (SimTime::ZERO + secs(10), 2.0),
+        ]);
+        for t in [0u64, 4_999_999, 5_000_000, 7_000_000, 10_000_000, 99_000_000] {
+            let t = SimTime(t);
+            let (m, until) = s.segment(t);
+            assert_eq!(m, s.multiplier(t), "multiplier mismatch at {t}");
+            assert!(until > t, "segment end must be in the future at {t}");
+            // The multiplier is constant right up to the boundary.
+            if until.0 != u64::MAX {
+                assert_eq!(s.multiplier(SimTime(until.0 - 1)), m);
+                assert_ne!(s.multiplier(until), m);
+            }
+        }
+        // The constant schedule never changes.
+        let c = CostSchedule::constant();
+        assert_eq!(c.segment(SimTime::ZERO), (1.0, SimTime(u64::MAX)));
     }
 }

@@ -38,6 +38,7 @@ pub mod metrics;
 pub mod network;
 pub mod networks;
 pub mod operator;
+pub mod rng;
 pub mod rt;
 pub mod sim;
 pub mod telemetry;
@@ -48,9 +49,10 @@ pub use faults::{FaultKind, FaultLog, FaultPlan, FaultWindow, FaultyHook};
 pub use hook::{ControlHook, Decision, NoShedding, PeriodSnapshot};
 pub use metrics::{DelayStats, RunReport};
 pub use network::{NetworkBuilder, NodeId, QueryNetwork};
+pub use rng::{engine_rng, EngineRng, GeometricSkip};
 pub use sim::{SimConfig, Simulator};
 pub use telemetry::{
-    ControlState, ControlTrace, EventSink, InstrumentedHook, LoopMode, RingRecorder,
+    ControlState, ControlTrace, EventSink, InstrumentedHook, LoopMode, Ring, RingRecorder,
     SharedRecorder, TracingHook,
 };
 pub use time::{micros, millis, millis_f64, secs, secs_f64, SimDuration, SimTime};

@@ -25,6 +25,21 @@ pub struct DelayHistogram {
 const HIST_BASE_MS: f64 = 0.1;
 const HIST_GROWTH: f64 = 1.12;
 const HIST_BUCKETS: usize = 220; // covers up to ~0.1·1.12²²⁰ ≈ 7·10⁸ ms
+/// `1 / log₂(HIST_GROWTH)`, for the bit-pattern bucket estimate (checked
+/// against `HIST_GROWTH` by test).
+const HIST_INV_LOG2_GROWTH: f64 = 6.1162553741996994;
+
+/// Bucket upper bounds in ms (`HIST_BASE_MS · HIST_GROWTH^k`), built once.
+fn bucket_uppers() -> &'static [f64; HIST_BUCKETS] {
+    static UPPERS: std::sync::OnceLock<[f64; HIST_BUCKETS]> = std::sync::OnceLock::new();
+    UPPERS.get_or_init(|| {
+        let mut u = [0.0; HIST_BUCKETS];
+        for (i, v) in u.iter_mut().enumerate() {
+            *v = HIST_BASE_MS * HIST_GROWTH.powi(i as i32);
+        }
+        u
+    })
+}
 
 impl DelayHistogram {
     /// Creates an empty histogram.
@@ -39,8 +54,25 @@ impl DelayHistogram {
         if delay_ms <= HIST_BASE_MS {
             return 0;
         }
-        let idx = ((delay_ms / HIST_BASE_MS).ln() / HIST_GROWTH.ln()).ceil() as usize;
-        idx.min(HIST_BUCKETS - 1)
+        let uppers = bucket_uppers();
+        let r = delay_ms / HIST_BASE_MS; // > 1 here
+        // Start from a cheap log₂ estimate read straight off the f64 bit
+        // pattern (linear-mantissa approximation, error < 0.09 before
+        // scaling), then walk up the precomputed bucket boundaries to the
+        // exact answer: the smallest k with delay ≤ base·growthᵏ. The
+        // estimate only ever undershoots, so the walk is 1–3 compares and
+        // no libm call.
+        let bits = r.to_bits();
+        let exp = ((bits >> 52) & 0x7ff) as i64 - 1023;
+        let frac = (bits & ((1u64 << 52) - 1)) as f64 * (1.0 / (1u64 << 52) as f64);
+        let log2_est = exp as f64 + frac;
+        let mut k = ((log2_est * HIST_INV_LOG2_GROWTH) as usize)
+            .saturating_sub(1)
+            .min(HIST_BUCKETS - 1);
+        while k < HIST_BUCKETS - 1 && delay_ms > uppers[k] {
+            k += 1;
+        }
+        k
     }
 
     /// Upper bound (ms) of a bucket.
@@ -341,6 +373,13 @@ pub(crate) struct MetricsAccumulator {
     arrival_sum_ms: Vec<f64>,
     arrival_cnt: Vec<u64>,
     period: SimDuration,
+    // Precomputed per-departure constants and a one-entry period-index
+    // cache: departures cluster in arrival time, so the integer division
+    // runs only when a departure crosses into another period.
+    target_ms: f64,
+    idx_cache: usize,
+    idx_lo_us: u64,
+    idx_hi_us: u64,
 }
 
 impl MetricsAccumulator {
@@ -359,26 +398,40 @@ impl MetricsAccumulator {
             arrival_sum_ms: Vec::new(),
             arrival_cnt: Vec::new(),
             period,
+            target_ms: target_delay.as_millis_f64(),
+            idx_cache: 0,
+            idx_lo_us: 0,
+            idx_hi_us: 0,
         }
     }
 
     /// Records a root departure.
     pub fn record_departure(&mut self, arrival: SimTime, departure: SimTime) {
         let delay = departure - arrival;
+        let delay_ms = delay.as_millis_f64();
         self.completed += 1;
         self.delay_stats.record(delay);
-        let over_ms = delay.as_millis_f64() - self.target_delay.as_millis_f64();
+        let over_ms = delay_ms - self.target_ms;
         if over_ms > 0.0 {
             self.accumulated_violation_ms += over_ms;
             self.delayed_tuples += 1;
             self.max_overshoot_ms = self.max_overshoot_ms.max(over_ms);
         }
-        let idx = (arrival.0 / self.period.0.max(1)) as usize;
+        let idx = if arrival.0 >= self.idx_lo_us && arrival.0 < self.idx_hi_us {
+            self.idx_cache
+        } else {
+            let p = self.period.0.max(1);
+            let i = (arrival.0 / p) as usize;
+            self.idx_cache = i;
+            self.idx_lo_us = i as u64 * p;
+            self.idx_hi_us = self.idx_lo_us + p;
+            i
+        };
         if idx >= self.arrival_sum_ms.len() {
             self.arrival_sum_ms.resize(idx + 1, 0.0);
             self.arrival_cnt.resize(idx + 1, 0);
         }
-        self.arrival_sum_ms[idx] += delay.as_millis_f64();
+        self.arrival_sum_ms[idx] += delay_ms;
         self.arrival_cnt[idx] += 1;
     }
 
@@ -418,6 +471,40 @@ impl MetricsAccumulator {
 mod tests {
     use super::*;
     use crate::time::{millis, secs};
+
+    #[test]
+    fn histogram_inv_log2_growth_constant_is_consistent() {
+        assert!(
+            (HIST_INV_LOG2_GROWTH - 1.0 / HIST_GROWTH.log2()).abs() < 1e-12,
+            "HIST_INV_LOG2_GROWTH drifted from 1/log2(HIST_GROWTH): want {}",
+            1.0 / HIST_GROWTH.log2()
+        );
+    }
+
+    #[test]
+    fn histogram_bucket_lookup_matches_boundary_table() {
+        // Ground truth: the smallest k with delay ≤ base·growthᵏ.
+        let uppers = bucket_uppers();
+        let linear = |d: f64| -> usize {
+            uppers
+                .iter()
+                .position(|&u| d <= u)
+                .unwrap_or(HIST_BUCKETS - 1)
+        };
+        // Sweep six orders of magnitude, hitting boundaries exactly and
+        // on both sides.
+        let mut d = 0.01f64;
+        while d < 1e7 {
+            assert_eq!(DelayHistogram::bucket_for(d), linear(d), "delay {d}");
+            d *= 1.017;
+        }
+        for k in 0..HIST_BUCKETS {
+            let u = uppers[k];
+            for d in [u * (1.0 - 1e-12), u, u * (1.0 + 1e-12)] {
+                assert_eq!(DelayHistogram::bucket_for(d), linear(d), "boundary {d}");
+            }
+        }
+    }
 
     #[test]
     fn histogram_quantiles_bracket_samples() {

@@ -71,6 +71,14 @@ pub trait OperatorLogic: Send {
         1.0
     }
 
+    /// True if this operator forwards every input tuple unchanged on its
+    /// default branch (identity maps, unions). The scheduler uses this to
+    /// route such tuples without an indirect `process` call; the answer
+    /// must never change over the operator's lifetime.
+    fn is_passthrough(&self) -> bool {
+        false
+    }
+
     /// Number of input ports (1 for unary, 2 for binary operators).
     fn ports(&self) -> usize {
         1
@@ -149,13 +157,17 @@ impl OperatorLogic for Filter {
 /// A stateless transformation operator (one output per input).
 pub struct Map {
     f: Box<dyn FnMut(&Tuple) -> Tuple + Send>,
+    identity: bool,
 }
 
 impl Map {
     /// Map with an arbitrary transform. The transform should use
     /// [`Tuple::derive`] to preserve delay attribution.
     pub fn new(f: impl FnMut(&Tuple) -> Tuple + Send + 'static) -> Self {
-        Self { f: Box::new(f) }
+        Self {
+            f: Box::new(f),
+            identity: false,
+        }
     }
 
     /// Scales the value by a constant.
@@ -166,7 +178,9 @@ impl Map {
     /// Identity map — a pure cost carrier, as used for most of the 14
     /// operators of the identification network.
     pub fn identity() -> Self {
-        Self::new(|t: &Tuple| *t)
+        let mut m = Self::new(|t: &Tuple| *t);
+        m.identity = true;
+        m
     }
 }
 
@@ -177,6 +191,10 @@ impl OperatorLogic for Map {
 
     fn process(&mut self, _port: PortId, tuple: &Tuple, _now: SimTime, out: &mut OutputBuffer) {
         out.emit((self.f)(tuple));
+    }
+
+    fn is_passthrough(&self) -> bool {
+        self.identity
     }
 }
 
@@ -199,6 +217,10 @@ impl OperatorLogic for Union {
 
     fn ports(&self) -> usize {
         2
+    }
+
+    fn is_passthrough(&self) -> bool {
+        true
     }
 }
 

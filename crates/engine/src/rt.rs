@@ -23,7 +23,8 @@
 //! overran.
 
 use crate::hook::{ControlHook, PeriodSnapshot};
-use crate::telemetry::PromText;
+use crate::rng::sample_skip;
+use crate::telemetry::{PromText, Ring};
 use crate::time::{SimDuration, SimTime};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
@@ -91,8 +92,25 @@ struct Shared {
     hook_ns_max: AtomicU64,
     periods: AtomicU64,
     stop: AtomicBool,
-    hook_log: Mutex<Vec<PeriodSnapshot>>,
+    /// Entry-shedder skip counter: arrivals to admit before the next
+    /// drop. [`SKIP_RESAMPLE`] forces `offer()` to draw a fresh skip (set
+    /// initially and whenever the controller changes α).
+    skip_left: AtomicU64,
+    /// Controller-side period log. Preallocated ring, locked only by the
+    /// controller thread (once per period) and at shutdown — never on the
+    /// `offer()`/worker path, so feeding tuples cannot block on it.
+    hook_log: Mutex<Ring<PeriodSnapshot>>,
 }
+
+/// Sentinel for [`Shared::skip_left`]: the next `offer()` must resample.
+/// (A genuine skip of `u64::MAX` decays into an extra resample, which the
+/// geometric distribution's memorylessness makes statistically harmless.)
+const SKIP_RESAMPLE: u64 = u64::MAX;
+
+/// Capacity of the controller's period-snapshot ring. At the demo's
+/// 100 ms period this retains the most recent ~13 minutes; a fixed cap
+/// keeps the log allocation-free for the run's lifetime.
+const HOOK_LOG_CAPACITY: usize = 8192;
 
 impl Shared {
     fn new() -> Self {
@@ -116,7 +134,8 @@ impl Shared {
             hook_ns_max: AtomicU64::new(0),
             periods: AtomicU64::new(0),
             stop: AtomicBool::new(false),
-            hook_log: Mutex::new(Vec::new()),
+            skip_left: AtomicU64::new(SKIP_RESAMPLE),
+            hook_log: Mutex::new(Ring::with_capacity(HOOK_LOG_CAPACITY)),
         }
     }
 
@@ -304,10 +323,13 @@ impl RtEngine {
                     shared.hook_ns_max.fetch_max(hook_ns, Ordering::Relaxed);
                     shared.periods.fetch_add(1, Ordering::Relaxed);
                     shared.hook_log.lock().push(snapshot);
-                    shared.alpha_bits.store(
-                        decision.entry_drop_prob.clamp(0.0, 1.0).to_bits(),
-                        Ordering::Relaxed,
-                    );
+                    let new_bits = decision.entry_drop_prob.clamp(0.0, 1.0).to_bits();
+                    let old_bits = shared.alpha_bits.swap(new_bits, Ordering::Relaxed);
+                    if old_bits != new_bits {
+                        // A sampled skip is only valid under the α it was
+                        // drawn for; force the next offer() to resample.
+                        shared.skip_left.store(SKIP_RESAMPLE, Ordering::Relaxed);
+                    }
                     if decision.shed_load_us > 0.0 {
                         let tuples =
                             (decision.shed_load_us / cfg.cost.as_micros() as f64).ceil() as u64;
@@ -330,10 +352,17 @@ impl RtEngine {
 
     /// Offers one tuple. Returns `false` if the entry shedder dropped it,
     /// the bounded queue rejected it, or the worker is gone.
+    ///
+    /// The entry shedder uses geometric skip sampling: most offers only
+    /// decrement the shared skip counter; an RNG draw happens once per
+    /// drop (and once per α change). Like the coin state it replaces, the
+    /// counter uses racy relaxed load/store — concurrent offerers can
+    /// double-consume a skip, which perturbs the realised drop rate far
+    /// less than scheduling jitter already does.
     pub fn offer(&self) -> bool {
         self.shared.offered.fetch_add(1, Ordering::Relaxed);
         let alpha = self.shared.alpha();
-        if alpha > 0.0 && self.coin_flip() < alpha {
+        if alpha > 0.0 && self.skip_says_drop(alpha) {
             self.shared.dropped_entry.fetch_add(1, Ordering::Relaxed);
             return false;
         }
@@ -492,13 +521,36 @@ impl RtEngine {
             max_delay_ms: s.delay_max_us.load(Ordering::Relaxed) as f64 / 1e3,
             delayed_tuples: s.delayed.load(Ordering::Relaxed),
             accumulated_violation_ms: s.violation_sum_us.load(Ordering::Relaxed) as f64 / 1e3,
-            snapshots: std::mem::take(&mut *s.hook_log.lock()),
+            snapshots: s.hook_log.lock().to_vec(),
         }
     }
 
     /// The runner's configuration.
     pub fn config(&self) -> &RtConfig {
         &self.cfg
+    }
+
+    /// Entry-shedding decision for one arrival under drop probability
+    /// `alpha` (> 0): consume one admit from the skip counter, resampling
+    /// the geometric gap on each drop or α change.
+    fn skip_says_drop(&self, alpha: f64) -> bool {
+        if alpha >= 1.0 {
+            return true;
+        }
+        let s = self.shared.skip_left.load(Ordering::Relaxed);
+        let current = if s == SKIP_RESAMPLE {
+            sample_skip(alpha, self.coin_flip())
+        } else {
+            s
+        };
+        if current == 0 {
+            let next = sample_skip(alpha, self.coin_flip());
+            self.shared.skip_left.store(next, Ordering::Relaxed);
+            true
+        } else {
+            self.shared.skip_left.store(current - 1, Ordering::Relaxed);
+            false
+        }
     }
 
     fn coin_flip(&self) -> f64 {

@@ -20,13 +20,12 @@ use crate::cost::CostSchedule;
 use crate::hook::{ControlHook, Decision, PeriodSnapshot};
 use crate::metrics::{MetricsAccumulator, PeriodRecord, RunReport};
 use crate::network::{NodeId, QueryNetwork};
+use crate::rng::{engine_rng, EngineRng, GeometricSkip};
 use crate::telemetry::{EventSink, SharedRecorder, SpanKind};
 use crate::operator::OutputBuffer;
 use crate::time::{secs, SimDuration, SimTime};
 use crate::tuple::{RootId, Tuple};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -150,9 +149,16 @@ impl SimConfig {
 
 /// Per-root bookkeeping: arrival time and the number of in-flight tuple
 /// copies derived from it.
+///
+/// Slots are recycled through a free-list: a root that fully departs
+/// returns its slot for the next admission, so slab memory is bounded by
+/// the peak number of *live* roots instead of growing with every
+/// admission over the run. A recycled [`RootId`] is safe because no live
+/// tuple can still reference a fully-departed root.
 struct RootSlab {
     arrival: Vec<SimTime>,
     outstanding: Vec<u32>,
+    free: Vec<u32>,
     live_roots: u64,
 }
 
@@ -161,16 +167,33 @@ impl RootSlab {
         Self {
             arrival: Vec::new(),
             outstanding: Vec::new(),
+            free: Vec::new(),
             live_roots: 0,
         }
     }
 
+    /// Preallocates capacity for `n` live roots (arrival/outstanding grow
+    /// together, so one reserve covers both).
+    fn reserve(&mut self, n: usize) {
+        self.arrival.reserve(n);
+        self.outstanding.reserve(n);
+    }
+
     fn admit(&mut self, arrival: SimTime) -> RootId {
-        let id = RootId(self.arrival.len() as u64);
-        self.arrival.push(arrival);
-        self.outstanding.push(1);
         self.live_roots += 1;
-        id
+        match self.free.pop() {
+            Some(idx) => {
+                self.arrival[idx as usize] = arrival;
+                self.outstanding[idx as usize] = 1;
+                RootId(idx as u64)
+            }
+            None => {
+                let id = RootId(self.arrival.len() as u64);
+                self.arrival.push(arrival);
+                self.outstanding.push(1);
+                id
+            }
+        }
     }
 
     /// Adds `delta` in-flight copies for a root.
@@ -179,17 +202,48 @@ impl RootSlab {
     }
 
     /// Removes one in-flight copy; returns `Some(arrival)` if that was the
-    /// last copy (the root departs).
+    /// last copy (the root departs and its slot is recycled).
     fn consume(&mut self, root: RootId) -> Option<SimTime> {
         let idx = root.0 as usize;
         debug_assert!(self.outstanding[idx] > 0, "double consume of root");
         self.outstanding[idx] -= 1;
         if self.outstanding[idx] == 0 {
             self.live_roots -= 1;
+            self.free.push(idx as u32);
             Some(self.arrival[idx])
         } else {
             None
         }
+    }
+}
+
+/// Precomputed routing table of one node: every outgoing edge flattened
+/// into `(node, port)` pairs, with per-branch half-open ranges into the
+/// flat list. Replaces walking the nested `Vec<Vec<EdgeTarget>>` on every
+/// emitted tuple.
+struct Fanout {
+    targets: Vec<(u32, u32)>,
+    branches: Vec<(u32, u32)>,
+}
+
+impl Fanout {
+    fn build(network: &QueryNetwork) -> Vec<Fanout> {
+        network
+            .nodes()
+            .iter()
+            .map(|node| {
+                let mut targets = Vec::new();
+                let mut branches = Vec::with_capacity(node.outputs.len());
+                for branch in &node.outputs {
+                    let start = targets.len() as u32;
+                    for edge in branch {
+                        targets.push((edge.node.index() as u32, edge.port as u32));
+                    }
+                    branches.push((start, targets.len() as u32));
+                }
+                Fanout { targets, branches }
+            })
+            .collect()
     }
 }
 
@@ -203,8 +257,17 @@ pub struct Simulator {
     /// The global FIFO network-input buffer: admitted tuples waiting for a
     /// slot inside the operator network, tagged with their entry node.
     input_buffer: VecDeque<(usize, Tuple)>,
+    /// Per-node count of input-buffer tuples destined for that entry, kept
+    /// in lockstep with `input_buffer` so the period-boundary load
+    /// estimate is O(entries) instead of O(buffered tuples).
+    buffered_per_entry: Vec<u64>,
+    /// Entry-shedder skip-sampling state, one per entry position; reset
+    /// whenever the controller issues a new decision.
+    entry_skip: Vec<Option<GeometricSkip>>,
+    /// Flattened routing tables, one per node.
+    fanout: Vec<Fanout>,
     roots: RootSlab,
-    rng: StdRng,
+    rng: EngineRng,
     rr: usize,
     port_toggle: Vec<usize>,
     out_buf: OutputBuffer,
@@ -213,6 +276,25 @@ pub struct Simulator {
     /// many tuples remain in its train.
     train_node: Option<usize>,
     train_left: u64,
+    /// Tuples queued per node (all ports), kept in lockstep with `queues`
+    /// so scheduling decisions never walk the port deques.
+    node_queued: Vec<u64>,
+    /// Bit i set ⇔ node i has queued tuples, for networks of ≤ 64 nodes:
+    /// turns round-robin node selection into a rotate + trailing_zeros.
+    /// Larger networks fall back to scanning `node_queued`.
+    nonempty_mask: u64,
+    /// Precomputed `1 / headroom` (service-time inflation per invocation).
+    inv_headroom: f64,
+    /// Per-node passthrough flag (identity map / union), precomputed so
+    /// the scheduler can route such tuples without an indirect call.
+    passthrough: Vec<bool>,
+    /// Per-node `(work, wall, work-µs)` under the cost multiplier of the
+    /// current schedule segment. Refreshed only when the clock crosses
+    /// `cost_cache_until`, so the hot path does no per-invocation float
+    /// scaling or breakpoint search.
+    cost_cache: Vec<(SimDuration, SimDuration, f64)>,
+    /// Exclusive end of the schedule segment `cost_cache` was built for.
+    cost_cache_until: SimTime,
     node_processed: Vec<u64>,
     node_emitted: Vec<u64>,
     node_shed: Vec<u64>,
@@ -229,23 +311,61 @@ pub struct Simulator {
 /// as the controller's own cost estimator).
 const COST_EWMA_ALPHA: f64 = 0.2;
 
+/// Upper bound on operator invocations per [`Simulator::execute_batch`]
+/// call. Batches normally end at the next event (arrival, period
+/// boundary, run end); the cap only bounds pathological cases — e.g.
+/// zero-cost operators whose execution never advances the clock — and
+/// keeps wall-clock pacing granularity sane.
+const MAX_BATCH: u32 = 1024;
+
+/// Counters accumulated over one control period and reset at each
+/// boundary.
+#[derive(Default)]
+struct PeriodCounters {
+    offered: u64,
+    admitted: u64,
+    dropped_entry: u64,
+    dropped_network: u64,
+    completed: u64,
+    delay_sum_ms: f64,
+    cpu_work_us: u64,
+    busy_wall_us: u64,
+}
+
 impl Simulator {
     /// Creates a simulator over a query network.
     pub fn new(network: QueryNetwork, cfg: SimConfig) -> Self {
         let queues = network
             .nodes()
             .iter()
-            .map(|n| (0..n.logic.ports()).map(|_| VecDeque::new()).collect())
+            // Preallocated to the admission-gate scale so steady-state
+            // runs never grow a queue mid-flight.
+            .map(|n| {
+                (0..n.logic.ports())
+                    .map(|_| VecDeque::with_capacity(64))
+                    .collect()
+            })
             .collect();
         let n_nodes = network.len();
+        let n_entries = network.entries().len();
         let port_toggle = vec![0; n_nodes];
-        let rng = StdRng::seed_from_u64(cfg.seed);
+        let rng = engine_rng(cfg.seed);
+        let fanout = Fanout::build(&network);
+        let inv_headroom = 1.0 / cfg.headroom;
+        let passthrough = network
+            .nodes()
+            .iter()
+            .map(|n| n.logic.is_passthrough())
+            .collect();
         Self {
             network,
             cfg,
             queues,
             total_queued: 0,
             input_buffer: VecDeque::new(),
+            buffered_per_entry: vec![0; n_nodes],
+            entry_skip: vec![None; n_entries],
+            fanout,
             roots: RootSlab::new(),
             rng,
             rr: 0,
@@ -254,6 +374,12 @@ impl Simulator {
             clock: SimTime::ZERO,
             train_node: None,
             train_left: 0,
+            node_queued: vec![0; n_nodes],
+            nonempty_mask: 0,
+            inv_headroom,
+            passthrough,
+            cost_cache: vec![(SimDuration::ZERO, SimDuration::ZERO, 0.0); n_nodes],
+            cost_cache_until: SimTime::ZERO,
             node_processed: vec![0; n_nodes],
             node_emitted: vec![0; n_nodes],
             node_shed: vec![0; n_nodes],
@@ -297,51 +423,22 @@ impl Simulator {
         let period = self.cfg.period;
         assert!(period.as_micros() > 0, "period must be positive");
 
+        // Overloaded runs park most arrivals in the input buffer (each
+        // holding a live root); reserve up front (capped) so admission
+        // never pays a mid-run regrow.
+        self.input_buffer.reserve(arrival_times.len().min(1 << 16));
+        self.roots.reserve(arrival_times.len().min(1 << 16));
+
         let mut metrics = MetricsAccumulator::new(self.cfg.target_delay, period);
         let mut decision = Decision::NONE;
         let mut next_arrival = 0usize;
         let mut next_boundary = SimTime::ZERO + period;
         let mut k: u64 = 0;
-
-        // Per-period counters.
-        let mut p_offered = 0u64;
-        let mut p_admitted = 0u64;
-        let mut p_dropped_entry = 0u64;
-        let mut p_dropped_network = 0u64;
-        let mut p_completed = 0u64;
-        let mut p_delay_sum_ms = 0.0f64;
-        let mut p_cpu_work_us = 0u64;
-        let mut p_busy_wall_us = 0u64;
+        let mut pc = PeriodCounters::default();
 
         loop {
             // 1. Admit arrivals that are due.
-            while next_arrival < arrival_times.len()
-                && arrival_times[next_arrival] <= self.clock
-                && arrival_times[next_arrival] < end
-            {
-                let t = arrival_times[next_arrival];
-                next_arrival += 1;
-                p_offered += 1;
-                metrics.offered += 1;
-                // Entry (stream) assignment is by arrival order, so it is
-                // stable under shedding — a prerequisite for per-entry
-                // (priority) drop probabilities.
-                let entry_pos =
-                    (metrics.offered - 1) as usize % self.network.entries().len();
-                let alpha = decision.drop_prob_for_entry(entry_pos);
-                if alpha > 0.0 && self.rng.gen::<f64>() < alpha {
-                    p_dropped_entry += 1;
-                    metrics.dropped_entry += 1;
-                    continue;
-                }
-                p_admitted += 1;
-                let root = self.roots.admit(t);
-                let key = self.rng.gen_range(0..self.cfg.key_space.max(1));
-                let value = self.rng.gen::<f64>();
-                let entry = self.network.entries()[entry_pos];
-                self.input_buffer
-                    .push_back((entry.index(), Tuple::new(root, t, key, value)));
-            }
+            self.admit_due(arrival_times, &mut next_arrival, end, &decision, &mut metrics, &mut pc);
             self.fill_from_input_buffer();
 
             // 2. Period boundaries that are due.
@@ -351,54 +448,50 @@ impl Simulator {
                     k,
                     now: next_boundary,
                     period,
-                    offered: p_offered,
-                    admitted: p_admitted,
-                    dropped_entry: p_dropped_entry,
-                    dropped_network: p_dropped_network,
-                    completed: p_completed,
+                    offered: pc.offered,
+                    admitted: pc.admitted,
+                    dropped_entry: pc.dropped_entry,
+                    dropped_network: pc.dropped_network,
+                    completed: pc.completed,
                     outstanding: self.roots.live_roots,
                     queued_tuples: self.total_queued + self.input_buffer.len() as u64,
                     queued_load_us,
-                    measured_cost_us: if p_completed > 0 {
-                        Some(p_cpu_work_us as f64 / p_completed as f64)
+                    measured_cost_us: if pc.completed > 0 {
+                        Some(pc.cpu_work_us as f64 / pc.completed as f64)
                     } else {
                         None
                     },
-                    mean_delay_ms: if p_completed > 0 {
-                        Some(p_delay_sum_ms / p_completed as f64)
+                    mean_delay_ms: if pc.completed > 0 {
+                        Some(pc.delay_sum_ms / pc.completed as f64)
                     } else {
                         None
                     },
-                    cpu_busy_us: p_cpu_work_us,
+                    cpu_busy_us: pc.cpu_work_us,
                 };
                 let new_decision = hook.on_period(&snapshot);
                 let alpha_in_force = decision.drop_prob_for_entry(0);
                 decision = new_decision;
+                // Skip-sampling state is only valid under the α it was
+                // drawn for; resample lazily under the new decision.
+                self.entry_skip.iter_mut().for_each(|s| *s = None);
                 metrics.periods.push(PeriodRecord {
                     k,
                     time_s: next_boundary.as_secs_f64(),
-                    offered: p_offered,
-                    admitted: p_admitted,
-                    dropped: p_dropped_entry + p_dropped_network,
-                    completed: p_completed,
+                    offered: pc.offered,
+                    admitted: pc.admitted,
+                    dropped: pc.dropped_entry + pc.dropped_network,
+                    completed: pc.completed,
                     outstanding: self.roots.live_roots,
                     alpha: alpha_in_force,
                     arrival_mean_delay_ms: f64::NAN, // filled in finish()
-                    measured_cost_us: if p_completed > 0 {
-                        p_cpu_work_us as f64 / p_completed as f64
+                    measured_cost_us: if pc.completed > 0 {
+                        pc.cpu_work_us as f64 / pc.completed as f64
                     } else {
                         f64::NAN
                     },
-                    cpu_utilisation: p_busy_wall_us as f64 / period.as_micros() as f64,
+                    cpu_utilisation: pc.busy_wall_us as f64 / period.as_micros() as f64,
                 });
-                p_offered = 0;
-                p_admitted = 0;
-                p_dropped_entry = 0;
-                p_dropped_network = 0;
-                p_completed = 0;
-                p_delay_sum_ms = 0.0;
-                p_cpu_work_us = 0;
-                p_busy_wall_us = 0;
+                pc = PeriodCounters::default();
                 k += 1;
                 next_boundary += period;
 
@@ -408,7 +501,7 @@ impl Simulator {
                     if let Some(rec) = self.telemetry.as_mut() {
                         rec.record_span(SpanKind::Shedder, t0.elapsed().as_nanos() as u64);
                     }
-                    p_dropped_network += dropped;
+                    pc.dropped_network += dropped;
                     metrics.dropped_network += dropped;
                 }
             }
@@ -417,16 +510,21 @@ impl Simulator {
                 break;
             }
 
-            // 3. Execute or idle.
-            self.fill_from_input_buffer();
+            // 3. Execute a batch or idle. Between here and the next
+            // boundary (or run end) only arrivals can interleave with the
+            // scheduler, and the batch admits those itself — so whole
+            // stretches of operator invocations run without bouncing
+            // through the outer event loop per tuple.
             if self.total_queued > 0 {
-                let (work_us, wall) = self.execute_one(&mut metrics, &mut |delay_ms| {
-                    p_completed += 1;
-                    p_delay_sum_ms += delay_ms;
-                });
-                p_cpu_work_us += work_us;
-                p_busy_wall_us += wall.as_micros();
-                self.clock += wall;
+                self.execute_batch(
+                    next_boundary.min(end),
+                    arrival_times,
+                    &mut next_arrival,
+                    end,
+                    &decision,
+                    &mut metrics,
+                    &mut pc,
+                );
             } else {
                 // Idle: jump to the next event.
                 let mut next_event = next_boundary.min(end);
@@ -472,22 +570,90 @@ impl Simulator {
     /// Moves tuples from the input buffer into their entry-operator
     /// queues while the in-network population is below the admission
     /// gate.
+    #[inline]
     fn fill_from_input_buffer(&mut self) {
         let gate = self.cfg.admission_gate.max(1) as u64;
         while self.total_queued < gate {
             match self.input_buffer.pop_front() {
                 Some((entry, tuple)) => {
+                    self.buffered_per_entry[entry] -= 1;
                     self.queues[entry][0].push_back(tuple);
                     self.total_queued += 1;
+                    self.note_push(entry);
                 }
                 None => break,
             }
         }
     }
 
+    /// Rebuilds the per-node cost cache for the schedule segment the
+    /// clock currently sits in. `segment` is bit-exact with `multiplier`,
+    /// so cached invocations behave identically to per-invocation lookup.
+    #[cold]
+    fn refresh_cost_cache(&mut self) {
+        let (mult, until) = self.cfg.cost_schedule.segment(self.clock);
+        self.cost_cache_until = until;
+        for (cache, node) in self.cost_cache.iter_mut().zip(self.network.nodes()) {
+            let work = node.cost.mul_f64(mult);
+            let wall = work.mul_f64(self.inv_headroom);
+            *cache = (work, wall, work.as_micros() as f64);
+        }
+    }
+
+    /// Records a tuple entering `node`'s queues in the per-node counter
+    /// and the nonempty bitmask.
+    #[inline]
+    fn note_push(&mut self, node: usize) {
+        self.node_queued[node] += 1;
+        if node < 64 {
+            self.nonempty_mask |= 1u64 << node;
+        }
+    }
+
+    /// Records a tuple leaving `node`'s queues.
+    #[inline]
+    fn note_pop(&mut self, node: usize) {
+        self.node_queued[node] -= 1;
+        if self.node_queued[node] == 0 && node < 64 {
+            self.nonempty_mask &= !(1u64 << node);
+        }
+    }
+
+    /// First node with queued tuples in round-robin order starting at
+    /// `self.rr`. For networks of ≤ 64 nodes this is a single rotate +
+    /// trailing_zeros on the nonempty bitmask; larger networks scan the
+    /// per-node counters.
+    #[inline]
+    fn next_nonempty_node(&self, n: usize) -> Option<usize> {
+        if n <= 64 {
+            let mask = self.nonempty_mask;
+            if mask == 0 {
+                return None;
+            }
+            // rotate_right(rr) maps node j to bit (j - rr) mod 64, so the
+            // lowest set bit is the first nonempty node in cyclic order
+            // rr, rr+1, …, n-1, 0, …, rr-1 (bits n..64 are never set).
+            let off = mask.rotate_right(self.rr as u32).trailing_zeros() as usize;
+            Some((self.rr + off) & 63)
+        } else {
+            (0..n)
+                .map(|off| (self.rr + off) % n)
+                .find(|&i| self.node_queued[i] > 0)
+        }
+    }
+
     /// Expected remaining CPU load of everything queued (operator queues
     /// plus the input buffer), in µs.
+    ///
+    /// The input-buffer contribution comes from the per-entry counters
+    /// maintained alongside the buffer, so the boundary-time estimate is
+    /// O(nodes) regardless of how deep the backlog is.
     fn queued_load_us(&self) -> f64 {
+        debug_assert_eq!(
+            self.buffered_per_entry.iter().sum::<u64>() as usize,
+            self.input_buffer.len(),
+            "buffered-per-entry counters out of sync with the input buffer"
+        );
         let in_network: f64 = self
             .queues
             .iter()
@@ -498,18 +664,130 @@ impl Simulator {
             })
             .sum();
         let buffered: f64 = self
-            .input_buffer
+            .network
+            .entries()
             .iter()
-            .map(|&(entry, _)| self.network.downstream_load_us(NodeId(entry)))
+            .map(|&e| {
+                self.buffered_per_entry[e.index()] as f64
+                    * self.network.downstream_load_us(e)
+            })
             .sum();
         in_network + buffered
+    }
+
+    /// Admits every arrival at or before the current clock (and before
+    /// `end`), applying the entry-shedding decision in force.
+    fn admit_due(
+        &mut self,
+        arrival_times: &[SimTime],
+        next_arrival: &mut usize,
+        end: SimTime,
+        decision: &Decision,
+        metrics: &mut MetricsAccumulator,
+        pc: &mut PeriodCounters,
+    ) {
+        let n_entries = self.network.entries().len();
+        let key_space = self.cfg.key_space.max(1);
+        // Rotating cursor equivalent to `(offered - 1) % n_entries`
+        // without a division per arrival.
+        let mut cursor = metrics.offered as usize % n_entries;
+        while *next_arrival < arrival_times.len()
+            && arrival_times[*next_arrival] <= self.clock
+            && arrival_times[*next_arrival] < end
+        {
+            let t = arrival_times[*next_arrival];
+            *next_arrival += 1;
+            pc.offered += 1;
+            metrics.offered += 1;
+            // Entry (stream) assignment is by arrival order, so it is
+            // stable under shedding — a prerequisite for per-entry
+            // (priority) drop probabilities.
+            let entry_pos = cursor;
+            cursor += 1;
+            if cursor == n_entries {
+                cursor = 0;
+            }
+            let alpha = decision.drop_prob_for_entry(entry_pos);
+            // Geometric skip sampling: one RNG draw per *drop* instead
+            // of a coin flip per arrival. Statistically identical to
+            // iid Bernoulli(α) (see `rng::GeometricSkip`); the state is
+            // reset at every new decision, which is harmless because
+            // the geometric distribution is memoryless.
+            if alpha > 0.0 {
+                let skip = self.entry_skip[entry_pos]
+                    .get_or_insert_with(|| GeometricSkip::new(alpha, &mut self.rng));
+                if skip.should_drop(&mut self.rng) {
+                    pc.dropped_entry += 1;
+                    metrics.dropped_entry += 1;
+                    continue;
+                }
+            }
+            pc.admitted += 1;
+            let root = self.roots.admit(t);
+            // Bounded key via widening multiply (Lemire) — uniform to
+            // within 2⁻⁶⁴·key_space, with no 128-bit division per tuple.
+            let key =
+                (((self.rng.next_u64() as u128) * (key_space as u128)) >> 64) as u64;
+            let value = self.rng.gen::<f64>();
+            let entry = self.network.entries()[entry_pos];
+            self.buffered_per_entry[entry.index()] += 1;
+            self.input_buffer
+                .push_back((entry.index(), Tuple::new(root, t, key, value)));
+        }
+    }
+
+    /// Executes operator invocations back-to-back until the clock reaches
+    /// `limit_events` (the next boundary or the run end), the queues
+    /// drain, or [`MAX_BATCH`] invocations ran. Pending arrivals are
+    /// admitted in-line the moment the clock crosses them, so event
+    /// ordering is identical to a one-invocation-per-outer-iteration
+    /// loop without paying the outer loop per tuple.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_batch(
+        &mut self,
+        limit_events: SimTime,
+        arrival_times: &[SimTime],
+        next_arrival: &mut usize,
+        end: SimTime,
+        decision: &Decision,
+        metrics: &mut MetricsAccumulator,
+        pc: &mut PeriodCounters,
+    ) {
+        let mut budget = MAX_BATCH;
+        loop {
+            let mut limit = limit_events;
+            if *next_arrival < arrival_times.len() {
+                limit = limit.min(arrival_times[*next_arrival]);
+            }
+            while budget > 0 {
+                budget -= 1;
+                let (work_us, wall) = self.execute_one(metrics, pc);
+                pc.cpu_work_us += work_us;
+                pc.busy_wall_us += wall.as_micros();
+                self.clock += wall;
+                self.fill_from_input_buffer();
+                if self.clock >= limit || self.total_queued == 0 {
+                    break;
+                }
+            }
+            if budget == 0 || self.clock >= limit_events {
+                return;
+            }
+            // The clock crossed the next pending arrival (or the queues
+            // drained short of it): admit what is due and keep draining.
+            self.admit_due(arrival_times, next_arrival, end, decision, metrics, pc);
+            self.fill_from_input_buffer();
+            if self.total_queued == 0 {
+                return; // idle — the outer loop jumps the clock forward
+            }
+        }
     }
 
     /// Executes one operator invocation. Returns (CPU work µs, wall time).
     fn execute_one(
         &mut self,
         metrics: &mut MetricsAccumulator,
-        on_complete: &mut dyn FnMut(f64),
+        pc: &mut PeriodCounters,
     ) -> (u64, SimDuration) {
         let n = self.network.len();
         // Round-robin *train* scheduling (Aurora-style): each visit
@@ -518,27 +796,19 @@ impl Simulator {
         // operator at the same rate and turn merge points (unions, joins)
         // into artificial bottlenecks the real engine does not have.
         let node_idx = match self.train_node {
-            Some(i)
-                if self.train_left > 0
-                    && self.queues[i].iter().any(|q| !q.is_empty()) =>
-            {
-                i
-            }
+            Some(i) if self.train_left > 0 && self.node_queued[i] > 0 => i,
             _ => {
                 // Callers only invoke this while work is queued; if the
                 // bookkeeping ever disagrees, degrade to a no-op step
                 // rather than aborting the whole run.
-                let Some(i) = (0..n)
-                    .map(|off| (self.rr + off) % n)
-                    .find(|&i| self.queues[i].iter().any(|q| !q.is_empty()))
-                else {
+                let Some(i) = self.next_nonempty_node(n) else {
                     self.train_node = None;
                     self.train_left = 0;
                     return (0, SimDuration::ZERO);
                 };
                 self.rr = (i + 1) % n;
                 self.train_node = Some(i);
-                self.train_left = self.queues[i].iter().map(|q| q.len() as u64).sum();
+                self.train_left = self.node_queued[i];
                 i
             }
         };
@@ -548,58 +818,91 @@ impl Simulator {
         }
 
         // Alternate ports on binary operators; fall back to any non-empty.
+        // `port_toggle` is kept `< ports`, so the wrap-arounds below are
+        // single conditional subtractions, not divisions.
         let ports = self.queues[node_idx].len();
-        let preferred = self.port_toggle[node_idx] % ports;
-        let Some(port) = (0..ports)
-            .map(|off| (preferred + off) % ports)
-            .find(|&p| !self.queues[node_idx][p].is_empty())
-        else {
-            return (0, SimDuration::ZERO);
+        let port = if ports == 1 {
+            0
+        } else {
+            let preferred = self.port_toggle[node_idx];
+            let Some(port) = (0..ports)
+                .map(|off| {
+                    let p = preferred + off;
+                    if p >= ports {
+                        p - ports
+                    } else {
+                        p
+                    }
+                })
+                .find(|&p| !self.queues[node_idx][p].is_empty())
+            else {
+                return (0, SimDuration::ZERO);
+            };
+            self.port_toggle[node_idx] = if port + 1 >= ports { 0 } else { port + 1 };
+            port
         };
-        self.port_toggle[node_idx] = (port + 1) % ports;
 
         let Some(tuple) = self.queues[node_idx][port].pop_front() else {
             return (0, SimDuration::ZERO);
         };
         self.total_queued -= 1;
+        self.note_pop(node_idx);
 
-        self.out_buf.clear();
-        let now = self.clock;
-        let node = &mut self.network.nodes_mut()[node_idx];
-        node.logic.process(port, &tuple, now, &mut self.out_buf);
-        self.node_processed[node_idx] += 1;
-        self.node_emitted[node_idx] += self.out_buf.items.len() as u64;
-
-        // Route the outputs. Take the item list out of the scratch buffer
-        // so queue pushes do not alias the buffer borrow; hand the
-        // allocation back afterwards (workhorse-buffer reuse).
         let mut pushed: u32 = 0;
-        let mut items = std::mem::take(&mut self.out_buf.items);
-        let node = &self.network.nodes()[node_idx];
-        for &(branch, out_tuple) in &items {
-            match branch {
-                Some(b) => {
-                    if let Some(targets) = node.outputs.get(b) {
-                        for target in targets {
-                            self.queues[target.node.index()][target.port].push_back(out_tuple);
-                            self.total_queued += 1;
-                            pushed += 1;
-                        }
-                    }
+        if self.passthrough[node_idx] {
+            // Passthrough fast path (identity maps, unions): the single
+            // output is the input tuple on the default branch, so skip the
+            // indirect `process` call and the scratch buffer entirely.
+            self.node_processed[node_idx] += 1;
+            self.node_emitted[node_idx] += 1;
+            let fan = &self.fanout[node_idx];
+            for &(node, port) in &fan.targets[..] {
+                self.queues[node as usize][port as usize].push_back(tuple);
+                self.total_queued += 1;
+                // note_push inlined: `fan` pins a shared borrow of
+                // self.fanout, so only disjoint fields may be touched here.
+                self.node_queued[node as usize] += 1;
+                if (node as usize) < 64 {
+                    self.nonempty_mask |= 1u64 << node;
                 }
-                None => {
-                    for targets in &node.outputs {
-                        for target in targets {
-                            self.queues[target.node.index()][target.port].push_back(out_tuple);
-                            self.total_queued += 1;
-                            pushed += 1;
-                        }
+                pushed += 1;
+            }
+        } else {
+            self.out_buf.clear();
+            let now = self.clock;
+            let node = &mut self.network.nodes_mut()[node_idx];
+            node.logic.process(port, &tuple, now, &mut self.out_buf);
+            self.node_processed[node_idx] += 1;
+            self.node_emitted[node_idx] += self.out_buf.items.len() as u64;
+
+            // Route the outputs through the precomputed flat fanout table.
+            // Take the item list out of the scratch buffer so queue pushes
+            // do not alias the buffer borrow; hand the allocation back
+            // afterwards (workhorse-buffer reuse).
+            let mut items = std::mem::take(&mut self.out_buf.items);
+            let fan = &self.fanout[node_idx];
+            for &(branch, out_tuple) in &items {
+                let targets = match branch {
+                    Some(b) => match fan.branches.get(b) {
+                        Some(&(start, end)) => &fan.targets[start as usize..end as usize],
+                        None => &[],
+                    },
+                    None => &fan.targets[..],
+                };
+                for &(node, port) in targets {
+                    self.queues[node as usize][port as usize].push_back(out_tuple);
+                    self.total_queued += 1;
+                    // note_push inlined, as above.
+                    self.node_queued[node as usize] += 1;
+                    if (node as usize) < 64 {
+                        self.nonempty_mask |= 1u64 << node;
                     }
+                    pushed += 1;
                 }
             }
+            items.clear();
+            self.out_buf.items = items;
         }
-        items.clear();
-        self.out_buf.items = items;
 
         if pushed > 0 {
             self.roots.fork(tuple.root, pushed);
@@ -607,14 +910,14 @@ impl Simulator {
         if let Some(arrival) = self.roots.consume(tuple.root) {
             let departure = self.clock;
             metrics.record_departure(arrival, departure);
-            on_complete((departure - arrival).as_millis_f64());
+            pc.completed += 1;
+            pc.delay_sum_ms += (departure - arrival).as_millis_f64();
         }
 
-        let mult = self.cfg.cost_schedule.multiplier(self.clock);
-        let base = self.network.nodes()[node_idx].cost;
-        let work = base.mul_f64(mult);
-        let wall = work.mul_f64(1.0 / self.cfg.headroom);
-        let w_us = work.as_micros() as f64;
+        if self.clock >= self.cost_cache_until {
+            self.refresh_cost_cache();
+        }
+        let (work, wall, w_us) = self.cost_cache[node_idx];
         let ewma = &mut self.node_cost_ewma[node_idx];
         *ewma = if ewma.is_nan() {
             w_us
@@ -644,6 +947,7 @@ impl Simulator {
                 while shed < target_us {
                     match self.input_buffer.pop_back() {
                         Some((entry, t)) => {
+                            self.buffered_per_entry[entry] -= 1;
                             shed += self.network.downstream_load_us(NodeId(entry));
                             dropped += 1;
                             self.node_shed[entry] += 1;
@@ -657,6 +961,7 @@ impl Simulator {
                 while shed < target_us {
                     match self.input_buffer.pop_front() {
                         Some((entry, t)) => {
+                            self.buffered_per_entry[entry] -= 1;
                             shed += self.network.downstream_load_us(NodeId(entry));
                             dropped += 1;
                             self.node_shed[entry] += 1;
@@ -685,6 +990,7 @@ impl Simulator {
                             break;
                         }
                         let (entry, t) = self.input_buffer[idx];
+                        self.buffered_per_entry[entry] -= 1;
                         shed += self.network.downstream_load_us(NodeId(entry));
                         dropped += 1;
                         self.node_shed[entry] += 1;
@@ -704,9 +1010,16 @@ impl Simulator {
         if shed >= target_us {
             return dropped;
         }
-        let mut order: Vec<usize> = (0..self.network.len()).collect();
-        order.shuffle(&mut self.rng);
-        'outer: for &i in &order {
+        // Random shed locations via *partial* Fisher–Yates: each visited
+        // position is drawn lazily, so the RNG/shuffle cost is
+        // proportional to the locations actually drained rather than the
+        // full node count (the loop usually stops after one or two).
+        let n = self.network.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        'outer: for visit in 0..n {
+            let j = self.rng.gen_range(visit..n);
+            order.swap(visit, j);
+            let i = order[visit];
             let per_tuple = self.network.downstream_load_us(NodeId(i));
             for port in 0..self.queues[i].len() {
                 while shed < target_us {
@@ -714,6 +1027,7 @@ impl Simulator {
                     match self.queues[i][port].pop_back() {
                         Some(t) => {
                             self.total_queued -= 1;
+                            self.note_pop(i);
                             shed += per_tuple;
                             dropped += 1;
                             self.node_shed[i] += 1;
@@ -764,6 +1078,7 @@ impl Simulator {
                     match self.queues[i][port].pop_back() {
                         Some(t) => {
                             self.total_queued -= 1;
+                            self.note_pop(i);
                             shed += per_tuple;
                             dropped += 1;
                             self.node_shed[i] += 1;
@@ -788,6 +1103,7 @@ impl Simulator {
                         continue;
                     }
                     doomed[idx] = true;
+                    self.buffered_per_entry[entry] -= 1;
                     shed += per_tuple;
                     dropped += 1;
                     self.node_shed[i] += 1;

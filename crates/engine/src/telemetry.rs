@@ -465,38 +465,50 @@ impl EventSink for NullSink {
     fn record(&mut self, _trace: &ControlTrace) {}
 }
 
-/// A fixed-capacity ring buffer of [`ControlTrace`] records plus span
-/// statistics.
+/// A fixed-capacity overwrite-oldest ring of `Copy` records.
 ///
-/// The buffer is fully allocated at construction; recording is a slot
-/// write. When full, the oldest record is overwritten and
-/// [`RingRecorder::overwritten`] incremented, so a long run keeps its
-/// most recent `capacity` periods.
+/// The backing storage is fully allocated at construction, so pushing is
+/// a slot write with no allocation — the property every hot-path log in
+/// the engine needs ([`RingRecorder`] builds on it for control traces;
+/// the rt runner uses it for its period-snapshot log). When full, the
+/// oldest record is overwritten and [`Ring::overwritten`] incremented,
+/// so a long run keeps its most recent `capacity` records.
 #[derive(Debug, Clone)]
-pub struct RingRecorder {
-    buf: Vec<ControlTrace>,
+pub struct Ring<T: Copy> {
+    buf: Vec<T>,
     capacity: usize,
     /// Next slot to write (wraps).
     next: usize,
     overwritten: u64,
-    spans: [SpanStats; SpanKind::COUNT],
 }
 
-impl RingRecorder {
-    /// Creates a recorder holding up to `capacity` periods
-    /// (fully preallocated; `capacity` must be ≥ 1).
+impl<T: Copy> Ring<T> {
+    /// Creates a ring holding up to `capacity` records (fully
+    /// preallocated; `capacity` must be ≥ 1).
     pub fn with_capacity(capacity: usize) -> Self {
-        assert!(capacity >= 1, "recorder capacity must be at least 1");
+        assert!(capacity >= 1, "ring capacity must be at least 1");
         Self {
             buf: Vec::with_capacity(capacity),
             capacity,
             next: 0,
             overwritten: 0,
-            spans: [SpanStats::default(); SpanKind::COUNT],
         }
     }
 
-    /// Records recorded so far (≤ capacity).
+    /// Appends a record, overwriting the oldest once full.
+    #[inline]
+    pub fn push(&mut self, item: T) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(item);
+            self.next = self.buf.len() % self.capacity;
+        } else {
+            self.buf[self.next] = item;
+            self.next = (self.next + 1) % self.capacity;
+            self.overwritten += 1;
+        }
+    }
+
+    /// Records retained so far (≤ capacity).
     pub fn len(&self) -> usize {
         self.buf.len()
     }
@@ -511,13 +523,8 @@ impl RingRecorder {
         self.overwritten
     }
 
-    /// Span statistics for one hot-path section.
-    pub fn span_stats(&self, kind: SpanKind) -> SpanStats {
-        self.spans[kind.index()]
-    }
-
     /// The retained records in chronological order (oldest first).
-    pub fn to_vec(&self) -> Vec<ControlTrace> {
+    pub fn to_vec(&self) -> Vec<T> {
         if self.buf.len() < self.capacity {
             self.buf.clone()
         } else {
@@ -530,16 +537,59 @@ impl RingRecorder {
     }
 }
 
+/// A fixed-capacity ring buffer of [`ControlTrace`] records plus span
+/// statistics.
+///
+/// The buffer is fully allocated at construction; recording is a slot
+/// write. When full, the oldest record is overwritten and
+/// [`RingRecorder::overwritten`] incremented, so a long run keeps its
+/// most recent `capacity` periods.
+#[derive(Debug, Clone)]
+pub struct RingRecorder {
+    ring: Ring<ControlTrace>,
+    spans: [SpanStats; SpanKind::COUNT],
+}
+
+impl RingRecorder {
+    /// Creates a recorder holding up to `capacity` periods
+    /// (fully preallocated; `capacity` must be ≥ 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity >= 1, "recorder capacity must be at least 1");
+        Self {
+            ring: Ring::with_capacity(capacity),
+            spans: [SpanStats::default(); SpanKind::COUNT],
+        }
+    }
+
+    /// Records recorded so far (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Number of records lost to ring wrap-around.
+    pub fn overwritten(&self) -> u64 {
+        self.ring.overwritten()
+    }
+
+    /// Span statistics for one hot-path section.
+    pub fn span_stats(&self, kind: SpanKind) -> SpanStats {
+        self.spans[kind.index()]
+    }
+
+    /// The retained records in chronological order (oldest first).
+    pub fn to_vec(&self) -> Vec<ControlTrace> {
+        self.ring.to_vec()
+    }
+}
+
 impl EventSink for RingRecorder {
     fn record(&mut self, trace: &ControlTrace) {
-        if self.buf.len() < self.capacity {
-            self.buf.push(*trace);
-            self.next = self.buf.len() % self.capacity;
-        } else {
-            self.buf[self.next] = *trace;
-            self.next = (self.next + 1) % self.capacity;
-            self.overwritten += 1;
-        }
+        self.ring.push(*trace);
     }
 
     fn record_span(&mut self, kind: SpanKind, nanos: u64) {

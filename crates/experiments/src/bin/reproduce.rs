@@ -1,14 +1,17 @@
 //! Regenerates every figure of the paper's evaluation.
 //!
 //! ```text
-//! reproduce [--out DIR] [--seed N] [fig5 fig6 ... | all]
+//! reproduce [--out DIR] [--seed N] [--jobs N] [fig5 fig6 ... | all]
 //! reproduce trace --scenario KEY [--out DIR] [--seed N]
 //! ```
 //!
 //! Writes `DIR/<fig>.csv` + `DIR/<fig>.json` for each figure and prints
-//! ASCII renderings with paper-vs-measured notes. The `trace` subcommand
-//! replays one fault scenario with the telemetry recorder engaged and
-//! writes `DIR/trace_<scenario>.jsonl` + `.csv` (see
+//! ASCII renderings with paper-vs-measured notes. Figures are regenerated
+//! across `--jobs N` worker threads (default: one per core; every scenario
+//! seeds its own simulator, so output is byte-identical for any N —
+//! rendering and file writes happen on the main thread in figure order).
+//! The `trace` subcommand replays one fault scenario with the telemetry
+//! recorder engaged and writes `DIR/trace_<scenario>.jsonl` + `.csv` (see
 //! `streamshed_experiments::trace`).
 
 use std::io::Write as _;
@@ -43,6 +46,7 @@ fn run_trace(scenario: &str, out_dir: &PathBuf, seed: u64) {
 fn main() {
     let mut out_dir = PathBuf::from("results");
     let mut seed = 7u64;
+    let mut jobs = exp::parallel::default_jobs();
     let mut scenario: Option<String> = None;
     let mut wanted: Vec<String> = Vec::new();
 
@@ -59,15 +63,27 @@ fn main() {
                     .parse()
                     .expect("seed must be an integer");
             }
+            "--jobs" => {
+                jobs = args
+                    .next()
+                    .expect("--jobs needs a worker count")
+                    .parse()
+                    .expect("jobs must be a positive integer");
+                if jobs == 0 {
+                    jobs = exp::parallel::default_jobs();
+                }
+            }
             "--scenario" => {
                 scenario = Some(args.next().expect("--scenario needs a scenario key"));
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: reproduce [--out DIR] [--seed N] [fig5 fig6 fig7 fig8 fig12 \
-                     fig13 fig14 fig15 fig16 fig17 fig18 fig19 overhead ablations \
-                     extensions faults | all]\n       \
+                    "usage: reproduce [--out DIR] [--seed N] [--jobs N] [fig5 fig6 fig7 \
+                     fig8 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 overhead \
+                     ablations extensions faults | all]\n       \
                      reproduce trace --scenario KEY [--out DIR] [--seed N]\n       \
+                     --jobs N: regenerate figures on N worker threads (0 or default: \
+                     one per core); results are byte-identical for any N\n       \
                      scenarios: {}",
                     exp::faults::SCENARIOS.join(", ")
                 );
@@ -105,9 +121,27 @@ fn main() {
         ];
     }
 
-    for name in &wanted {
+    // Drop unknown names up front so the worker pool only sees real tasks.
+    wanted.retain(|name| {
+        let known = matches!(
+            name.as_str(),
+            "fig5" | "fig6" | "fig7" | "fig8" | "fig12" | "fig13" | "fig14" | "fig15"
+                | "fig16" | "fig17" | "fig18" | "fig19" | "overhead" | "ablations"
+                | "extensions" | "faults"
+        );
+        if !known {
+            eprintln!("unknown figure '{name}', skipping");
+        }
+        known
+    });
+
+    // Fan the scenarios across the worker pool. Each figure builds its own
+    // seeded simulator, so results do not depend on scheduling; rendering
+    // and file writes stay on the main thread, in figure order, which keeps
+    // stdout and results/* byte-identical for any --jobs value.
+    let figs = exp::parallel::run_indexed(wanted.len(), jobs, |i| {
         let start = std::time::Instant::now();
-        let fig = match name.as_str() {
+        let fig = match wanted[i].as_str() {
             "fig5" => exp::fig05::run(),
             "fig6" => exp::fig06::run(),
             "fig7" => exp::fig07::run(),
@@ -124,13 +158,14 @@ fn main() {
             "ablations" => exp::ablations::run(seed),
             "extensions" => exp::extensions::run(seed),
             "faults" => exp::faults::run(seed),
-            other => {
-                eprintln!("unknown figure '{other}', skipping");
-                continue;
-            }
+            other => unreachable!("unknown figure '{other}' survived filtering"),
         };
+        (fig, start.elapsed())
+    });
+
+    for (name, (fig, elapsed)) in wanted.iter().zip(figs) {
         println!("{}", fig.render());
-        println!("  [{name} regenerated in {:.1?}]\n", start.elapsed());
+        println!("  [{name} regenerated in {elapsed:.1?}]\n");
         if let Err(e) = fig.write_into(&out_dir) {
             eprintln!("failed to write {name} into {}: {e}", out_dir.display());
         }

@@ -69,11 +69,20 @@ mod tests {
 
     #[test]
     fn ctrl_hugs_target_others_dont() {
-        let fig = run(7);
-        let get = |name: &str| fig.summary.iter().find(|(n, _)| n == name).unwrap().1;
+        // Averaged over a small seed set: any single realization can land
+        // a quiet burst pattern where the strategies are hard to
+        // distinguish.
+        let seeds = [3u64, 7, 11];
+        let figs = crate::parallel::run_indexed(seeds.len(), seeds.len(), |i| run(seeds[i]));
+        let mean = |name: &str| {
+            figs.iter()
+                .map(|f| f.summary.iter().find(|(n, _)| n == name).unwrap().1)
+                .sum::<f64>()
+                / figs.len() as f64
+        };
         for trace in ["Web", "Pareto"] {
-            let ctrl_near = get(&format!("{trace}:CTRL:frac_near_target"));
-            let aurora_near = get(&format!("{trace}:AURORA:frac_near_target"));
+            let ctrl_near = mean(&format!("{trace}:CTRL:frac_near_target"));
+            let aurora_near = mean(&format!("{trace}:AURORA:frac_near_target"));
             assert!(
                 ctrl_near > aurora_near,
                 "{trace}: CTRL near-target fraction {ctrl_near} vs AURORA {aurora_near}"
@@ -82,8 +91,8 @@ mod tests {
             // jump spikes everyone's delay briefly, but only CTRL brings
             // it straight back (paper: peaks "large in both height and
             // width" for the others).
-            let ctrl_wide = get(&format!("{trace}:CTRL:frac_above_3s"));
-            let aurora_wide = get(&format!("{trace}:AURORA:frac_above_3s"));
+            let ctrl_wide = mean(&format!("{trace}:CTRL:frac_above_3s"));
+            let aurora_wide = mean(&format!("{trace}:AURORA:frac_above_3s"));
             assert!(
                 aurora_wide > ctrl_wide * 2.0,
                 "{trace}: AURORA time >3 s {aurora_wide} vs CTRL {ctrl_wide}"

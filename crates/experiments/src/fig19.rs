@@ -96,24 +96,37 @@ mod tests {
 
     #[test]
     fn best_period_in_paper_region_and_long_periods_blow_up() {
-        let fig = run(7);
-        let get = |name: &str| fig.summary.iter().find(|(n, _)| n == name).unwrap().1;
+        // The blow-up at long periods depends on when bursts land inside
+        // the control period, so aggregate violations over a small seed
+        // set before comparing (a lucky realization can absorb every
+        // burst even at T = 8 s).
+        let seeds = [3u64, 7, 11];
+        let figs = crate::parallel::run_indexed(seeds.len(), seeds.len(), |i| run(seeds[i]));
+        let mean = |name: &str| {
+            figs.iter()
+                .map(|f| f.summary.iter().find(|(n, _)| n == name).unwrap().1)
+                .sum::<f64>()
+                / figs.len() as f64
+        };
         // Our virtual-time engine has far cleaner per-period measurements
         // than real Borealis, so the small-T penalty the paper observed
         // (estimation noise) is milder here and the good region extends
         // lower; the sampling-theorem blow-up at large T reproduces
         // exactly.
-        let best = get("best_period_ms");
+        let (best_t, vbest) = PERIODS_MS
+            .iter()
+            .map(|&t| (t, mean(&format!("violations_ms(T={t})"))))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
         assert!(
-            best <= 2000.0,
-            "best period {best} ms must not be in the blow-up region"
+            best_t <= 2000.0,
+            "best period {best_t} ms must not be in the blow-up region"
         );
         // T = 8 s misses every burst: violations far above the best.
-        let v8000 = get("violations_ms(T=8000)");
-        let vbest = get(&format!("violations_ms(T={best})"));
+        let v8000 = mean("violations_ms(T=8000)");
         assert!(
-            v8000 > vbest * 5.0,
-            "T=8000 violations {v8000} vs best {vbest}"
+            v8000 > (vbest * 5.0).max(1000.0),
+            "T=8000 mean violations {v8000} vs best {vbest}"
         );
     }
 }

@@ -45,6 +45,7 @@ pub mod fig17;
 pub mod fig18;
 pub mod fig19;
 pub mod overhead;
+pub mod parallel;
 pub mod render;
 pub mod runner;
 pub mod trace;

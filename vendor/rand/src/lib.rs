@@ -186,6 +186,47 @@ pub mod rngs {
             result
         }
     }
+
+    /// A small, fast generator (stand-in for rand's `SmallRng`):
+    /// xoshiro256+ — the same state transition as [`StdRng`] with a
+    /// cheaper output stage (one add instead of add-rotate-add). The
+    /// upper 53 bits are of full quality, which is exactly what float
+    /// sampling consumes; like `StdRng` it is deterministic per seed and
+    /// not cryptographic.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            Self {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
 }
 
 /// Sequence-related helpers.

@@ -121,6 +121,197 @@ impl<A: ToJson, B: ToJson, C: ToJson> ToJson for (A, B, C) {
     }
 }
 
+impl Value {
+    /// Returns the number as `f64` if this is a [`Value::Number`].
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Returns the string slice if this is a [`Value::String`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup; `None` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    /// `value["key"]` — returns [`Value::Null`] for missing keys or
+    /// non-objects, mirroring `serde_json`'s forgiving indexing.
+    fn index(&self, key: &str) -> &Value {
+        static NULL: Value = Value::Null;
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+/// Parses a JSON document into a [`Value`] (the stand-in's replacement
+/// for `serde_json::from_str`). Accepts the output of [`to_string`] /
+/// [`to_string_pretty`] and ordinary hand-written JSON; numbers parse as
+/// `f64`.
+pub fn from_str(input: &str) -> Result<Value, Error> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error); // trailing garbage
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn eat(bytes: &[u8], pos: &mut usize, lit: &str) -> Result<(), Error> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(Error)
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(Error),
+        Some(b'n') => eat(bytes, pos, "null").map(|()| Value::Null),
+        Some(b't') => eat(bytes, pos, "true").map(|()| Value::Bool(true)),
+        Some(b'f') => eat(bytes, pos, "false").map(|()| Value::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Value::String),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(Error),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut map = BTreeMap::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(map));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(Error);
+                }
+                *pos += 1;
+                map.insert(key, parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(map));
+                    }
+                    _ => return Err(Error),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos).map(Value::Number),
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, Error> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(Error);
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(Error),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes.get(*pos + 1..*pos + 5).ok_or(Error)?;
+                        let hex = std::str::from_utf8(hex).map_err(|_| Error)?;
+                        let code = u32::from_str_radix(hex, 16).map_err(|_| Error)?;
+                        // Surrogate pairs are not needed for the
+                        // workspace's own output; map them to U+FFFD.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(Error),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (input came from a &str, so
+                // the boundaries are valid).
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|_| Error)?;
+                let c = rest.chars().next().ok_or(Error)?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<f64, Error> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|n| n.is_finite())
+        .ok_or(Error)
+}
+
 /// Builds a [`Value`] from a JSON-ish literal, mirroring
 /// `serde_json::json!` for the object/array/expression shapes used in
 /// this workspace.
@@ -294,5 +485,46 @@ mod tests {
     fn non_finite_numbers_render_null() {
         assert_eq!(to_string(&f64::NAN).unwrap(), "null");
         assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+    }
+
+    #[test]
+    fn from_str_round_trips_own_output() {
+        let v = json!({
+            "name": "bench \"quoted\"",
+            "nested": json!({"speedup": 2.5, "ok": true, "none": Value::Null}),
+            "series": vec![1.0, -2.5, 3e6],
+        });
+        for body in [to_string(&v).unwrap(), to_string_pretty(&v).unwrap()] {
+            assert_eq!(from_str(&body).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn from_str_parses_hand_written_json() {
+        let v = from_str(" { \"a\" : [ 1 , 2.5 ] , \"b\" : { } , \"c\" : \"x\\ny\" } ")
+            .unwrap();
+        assert_eq!(v["a"], Value::Array(vec![Value::Number(1.0), Value::Number(2.5)]));
+        assert_eq!(v["b"], Value::Object(BTreeMap::new()));
+        assert_eq!(v["c"].as_str(), Some("x\ny"));
+        assert_eq!(v["missing"], Value::Null);
+        assert_eq!(v["a"]["nope"], Value::Null);
+    }
+
+    #[test]
+    fn from_str_rejects_malformed_input() {
+        for bad in ["", "{", "[1,", "{\"a\":}", "1 2", "nul", "\"open"] {
+            assert!(from_str(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(json!(1.5).as_f64(), Some(1.5));
+        assert_eq!(json!("s").as_f64(), None);
+        assert_eq!(json!("s").as_str(), Some("s"));
+        let obj = json!({"k": 7});
+        assert_eq!(obj.get("k").and_then(Value::as_f64), Some(7.0));
+        assert_eq!(obj.get("x"), None);
+        assert_eq!(obj["k"].as_f64(), Some(7.0));
     }
 }
