@@ -40,16 +40,19 @@ pub mod networks;
 pub mod operator;
 pub mod rng;
 pub mod rt;
+pub mod shard;
 pub mod sim;
 pub mod telemetry;
 pub mod time;
 pub mod tuple;
+pub mod worker;
 
 pub use faults::{FaultKind, FaultLog, FaultPlan, FaultWindow, FaultyHook};
 pub use hook::{ControlHook, Decision, NoShedding, PeriodSnapshot};
 pub use metrics::{DelayStats, RunReport};
 pub use network::{NetworkBuilder, NodeId, QueryNetwork};
-pub use rng::{engine_rng, EngineRng, GeometricSkip};
+pub use rng::{engine_rng, AtomicShedder, EngineRng, EntryShedder, GeometricSkip};
+pub use shard::{Dispatch, ShardConfig, ShardReport, ShardStat, ShardedEngine};
 pub use sim::{SimConfig, Simulator};
 pub use telemetry::{
     ControlState, ControlTrace, EventSink, InstrumentedHook, LoopMode, Ring, RingRecorder,
@@ -57,3 +60,4 @@ pub use telemetry::{
 };
 pub use time::{micros, millis, millis_f64, secs, secs_f64, SimDuration, SimTime};
 pub use tuple::{RootId, Tuple};
+pub use worker::{CostModel, WorkerConfig, WorkerStats};

@@ -25,6 +25,7 @@
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The engine's pseudo-random generator (currently xoshiro256+).
 pub type EngineRng = SmallRng;
@@ -111,6 +112,143 @@ pub fn sample_skip(alpha: f64, u: f64) -> u64 {
     }
 }
 
+/// Commanded drop probabilities at or above this threshold use a plain
+/// Bernoulli coin flip per arrival; below it, geometric skip sampling.
+///
+/// The crossover is empirical (see `shedder.per_alpha` in the bench
+/// report): skip sampling amortises one RNG draw + one `ln` per *drop*,
+/// so it wins decisively in the small-α regime (≈2.4× at α = 0.01) but
+/// loses once drops are frequent enough that the geometric gaps are
+/// short (0.86× at α = 0.05, 0.49× at α = 0.1) — the `ln` then costs
+/// more than the coin flips it replaces. The hybrid picks the winner
+/// per control period from the commanded α.
+pub const BERNOULLI_ALPHA_MIN: f64 = 0.02;
+
+/// Hybrid entry-shedding state for one entry: Bernoulli coin flips when
+/// drops are frequent (α ≥ [`BERNOULLI_ALPHA_MIN`]), geometric skip
+/// sampling when they are rare.
+///
+/// Like [`GeometricSkip`], α is fixed at construction; when the
+/// controller issues a new drop probability, discard the state and
+/// construct a fresh one (which is also where the Bernoulli-vs-skip
+/// choice is re-made).
+#[derive(Debug, Clone, Copy)]
+pub enum EntryShedder {
+    /// Per-arrival coin flip (one RNG draw per arrival).
+    Bernoulli(f64),
+    /// Skip sampling (one RNG draw per drop).
+    Skip(GeometricSkip),
+}
+
+impl EntryShedder {
+    /// Creates hybrid shedding state for drop probability `alpha`,
+    /// picking the faster sampler for that α.
+    pub fn new(alpha: f64, rng: &mut EngineRng) -> Self {
+        let alpha = if alpha.is_nan() { 0.0 } else { alpha.clamp(0.0, 1.0) };
+        if alpha >= BERNOULLI_ALPHA_MIN {
+            EntryShedder::Bernoulli(alpha)
+        } else {
+            EntryShedder::Skip(GeometricSkip::new(alpha, rng))
+        }
+    }
+
+    /// The drop probability this state was built for.
+    pub fn alpha(&self) -> f64 {
+        match self {
+            EntryShedder::Bernoulli(a) => *a,
+            EntryShedder::Skip(s) => s.alpha(),
+        }
+    }
+
+    /// Decides the fate of one arrival: `true` means drop it.
+    #[inline]
+    pub fn should_drop(&mut self, rng: &mut EngineRng) -> bool {
+        match self {
+            EntryShedder::Bernoulli(a) => rng.gen::<f64>() < *a,
+            EntryShedder::Skip(s) => s.should_drop(rng),
+        }
+    }
+}
+
+/// Sentinel for [`AtomicShedder`]'s skip counter: the next decision must
+/// resample. (A genuine skip of `u64::MAX` decays into an extra
+/// resample, which the geometric distribution's memorylessness makes
+/// statistically harmless.)
+const SKIP_RESAMPLE: u64 = u64::MAX;
+
+/// Lock-free hybrid entry shedder for the real-time engines, shared by
+/// concurrent `offer()` callers.
+///
+/// For α ≥ [`BERNOULLI_ALPHA_MIN`] each arrival flips a coin from a racy
+/// xorshift64* state; below it, arrivals decrement a shared geometric
+/// skip counter and only a drop (or an α change, via
+/// [`AtomicShedder::reset_skip`]) pays for an RNG draw + `ln`. Both
+/// states use relaxed load/store — concurrent offerers can double-consume
+/// a skip or reuse a coin state, which perturbs the realised drop rate
+/// far less than scheduling jitter already does.
+#[derive(Debug)]
+pub struct AtomicShedder {
+    coin_state: AtomicU64,
+    skip_left: AtomicU64,
+}
+
+impl AtomicShedder {
+    /// Creates shedder state from a nonzero-ified seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            coin_state: AtomicU64::new(seed | 0x9E3779B97F4A7C15),
+            skip_left: AtomicU64::new(SKIP_RESAMPLE),
+        }
+    }
+
+    /// Invalidates the sampled skip. Call whenever the commanded α
+    /// changes: a sampled gap is only valid under the α it was drawn
+    /// for.
+    pub fn reset_skip(&self) {
+        self.skip_left.store(SKIP_RESAMPLE, Ordering::Relaxed);
+    }
+
+    /// Decides the fate of one arrival under drop probability `alpha`:
+    /// `true` means drop it.
+    #[inline]
+    pub fn should_drop(&self, alpha: f64) -> bool {
+        if alpha <= 0.0 {
+            return false;
+        }
+        if alpha >= 1.0 {
+            return true;
+        }
+        if alpha >= BERNOULLI_ALPHA_MIN {
+            return self.coin_flip() < alpha;
+        }
+        let s = self.skip_left.load(Ordering::Relaxed);
+        let current = if s == SKIP_RESAMPLE {
+            sample_skip(alpha, self.coin_flip())
+        } else {
+            s
+        };
+        if current == 0 {
+            let next = sample_skip(alpha, self.coin_flip());
+            self.skip_left.store(next, Ordering::Relaxed);
+            true
+        } else {
+            self.skip_left.store(current - 1, Ordering::Relaxed);
+            false
+        }
+    }
+
+    /// xorshift64*; uniform enough for statistical shedding.
+    #[inline]
+    fn coin_flip(&self) -> f64 {
+        let mut x = self.coin_state.load(Ordering::Relaxed);
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.coin_state.store(x, Ordering::Relaxed);
+        (x.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -170,5 +308,67 @@ mod tests {
         }
         let mut c = engine_rng(43);
         assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn hybrid_picks_sampler_by_alpha() {
+        let mut rng = engine_rng(5);
+        assert!(matches!(
+            EntryShedder::new(BERNOULLI_ALPHA_MIN / 2.0, &mut rng),
+            EntryShedder::Skip(_)
+        ));
+        assert!(matches!(
+            EntryShedder::new(BERNOULLI_ALPHA_MIN, &mut rng),
+            EntryShedder::Bernoulli(_)
+        ));
+        assert!(matches!(
+            EntryShedder::new(0.5, &mut rng),
+            EntryShedder::Bernoulli(_)
+        ));
+    }
+
+    #[test]
+    fn hybrid_drop_rate_matches_alpha_on_both_branches() {
+        for &alpha in &[0.005, 0.01, 0.05, 0.3, 0.9] {
+            let mut rng = engine_rng(6);
+            let mut shedder = EntryShedder::new(alpha, &mut rng);
+            let n = 200_000;
+            let drops = (0..n).filter(|_| shedder.should_drop(&mut rng)).count();
+            let rate = drops as f64 / n as f64;
+            assert!(
+                (rate - alpha).abs() < 0.01,
+                "alpha {alpha}: observed {rate}"
+            );
+        }
+    }
+
+    #[test]
+    fn atomic_shedder_rate_matches_alpha_on_both_branches() {
+        for &alpha in &[0.0, 0.005, 0.01, 0.05, 0.5, 1.0] {
+            let shedder = AtomicShedder::new(99);
+            let n = 200_000;
+            let drops = (0..n).filter(|_| shedder.should_drop(alpha)).count();
+            let rate = drops as f64 / n as f64;
+            assert!(
+                (rate - alpha).abs() < 0.01,
+                "alpha {alpha}: observed {rate}"
+            );
+        }
+    }
+
+    #[test]
+    fn atomic_shedder_reset_skip_is_safe_mid_stream() {
+        let shedder = AtomicShedder::new(3);
+        let mut drops = 0;
+        for i in 0..100_000 {
+            if i % 1000 == 0 {
+                shedder.reset_skip();
+            }
+            if shedder.should_drop(0.01) {
+                drops += 1;
+            }
+        }
+        let rate = drops as f64 / 100_000.0;
+        assert!((rate - 0.01).abs() < 0.005, "observed {rate}");
     }
 }

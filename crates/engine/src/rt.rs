@@ -11,7 +11,9 @@
 //! The runner models a single logical operator path (the aggregate plant
 //! `G(z) = cT/(H(z−1))` — per the paper's §4.2, path structure only
 //! changes the constant `c`), so it is intentionally simpler than the
-//! simulator's full DAG.
+//! simulator's full DAG. The worker/supervisor machinery itself lives in
+//! [`worker`](crate::worker), shared with the sharded data plane in
+//! [`shard`](crate::shard).
 //!
 //! The pipeline is hardened against the faults a real deployment sees:
 //! the tuple queue is **bounded** (arrivals rejected at capacity are
@@ -23,12 +25,12 @@
 //! overran.
 
 use crate::hook::{ControlHook, PeriodSnapshot};
-use crate::rng::sample_skip;
+use crate::rng::AtomicShedder;
 use crate::telemetry::{PromText, Ring};
 use crate::time::{SimDuration, SimTime};
+use crate::worker::{spawn_supervised, CostModel, WorkerConfig, WorkerStats};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
-use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -70,42 +72,27 @@ impl RtConfig {
 }
 
 struct Shared {
-    // f64 bit patterns; Ordering::Relaxed is fine for control signals.
+    // f64 bit pattern; Ordering::Relaxed is fine for control signals.
     alpha_bits: AtomicU64,
-    shed_budget: AtomicU64,
-    queue_len: AtomicU64,
     offered: AtomicU64,
     dropped_entry: AtomicU64,
-    dropped_shed: AtomicU64,
-    completed: AtomicU64,
-    processed: AtomicU64,
     rejected_capacity: AtomicU64,
-    worker_panics: AtomicU64,
+    rejected_closed: AtomicU64,
     deadline_misses: AtomicU64,
-    delay_sum_us: AtomicU64,
-    delay_max_us: AtomicU64,
-    delayed: AtomicU64,
-    violation_sum_us: AtomicU64,
     // Controller hot-path span accounting (wall-clock time inside the
     // hook), for the Prometheus snapshot.
     hook_ns_total: AtomicU64,
     hook_ns_max: AtomicU64,
     periods: AtomicU64,
     stop: AtomicBool,
-    /// Entry-shedder skip counter: arrivals to admit before the next
-    /// drop. [`SKIP_RESAMPLE`] forces `offer()` to draw a fresh skip (set
-    /// initially and whenever the controller changes α).
-    skip_left: AtomicU64,
+    /// Entry shedder shared by concurrent `offer()` callers (hybrid
+    /// Bernoulli / geometric-skip, see [`AtomicShedder`]).
+    shedder: AtomicShedder,
     /// Controller-side period log. Preallocated ring, locked only by the
     /// controller thread (once per period) and at shutdown — never on the
     /// `offer()`/worker path, so feeding tuples cannot block on it.
     hook_log: Mutex<Ring<PeriodSnapshot>>,
 }
-
-/// Sentinel for [`Shared::skip_left`]: the next `offer()` must resample.
-/// (A genuine skip of `u64::MAX` decays into an extra resample, which the
-/// geometric distribution's memorylessness makes statistically harmless.)
-const SKIP_RESAMPLE: u64 = u64::MAX;
 
 /// Capacity of the controller's period-snapshot ring. At the demo's
 /// 100 ms period this retains the most recent ~13 minutes; a fixed cap
@@ -116,25 +103,16 @@ impl Shared {
     fn new() -> Self {
         Self {
             alpha_bits: AtomicU64::new(0.0f64.to_bits()),
-            shed_budget: AtomicU64::new(0),
-            queue_len: AtomicU64::new(0),
             offered: AtomicU64::new(0),
             dropped_entry: AtomicU64::new(0),
-            dropped_shed: AtomicU64::new(0),
-            completed: AtomicU64::new(0),
-            processed: AtomicU64::new(0),
             rejected_capacity: AtomicU64::new(0),
-            worker_panics: AtomicU64::new(0),
+            rejected_closed: AtomicU64::new(0),
             deadline_misses: AtomicU64::new(0),
-            delay_sum_us: AtomicU64::new(0),
-            delay_max_us: AtomicU64::new(0),
-            delayed: AtomicU64::new(0),
-            violation_sum_us: AtomicU64::new(0),
             hook_ns_total: AtomicU64::new(0),
             hook_ns_max: AtomicU64::new(0),
             periods: AtomicU64::new(0),
             stop: AtomicBool::new(false),
-            skip_left: AtomicU64::new(SKIP_RESAMPLE),
+            shedder: AtomicShedder::new(0x9E3779B97F4A7C15),
             hook_log: Mutex::new(Ring::with_capacity(HOOK_LOG_CAPACITY)),
         }
     }
@@ -159,6 +137,11 @@ pub struct RtReport {
     /// Of the entry drops, tuples rejected because the bounded queue was
     /// full.
     pub rejected_at_capacity: u64,
+    /// Tuples rejected because the engine was already shut down (the
+    /// worker's channel was closed). Accounted separately from
+    /// [`Self::dropped_entry`] so shutdown races are not conflated with
+    /// real shedding.
+    pub rejected_closed: u64,
     /// Worker panics caught and recovered from.
     pub worker_panics: u64,
     /// Control-period boundaries serviced more than half a period late.
@@ -176,7 +159,9 @@ pub struct RtReport {
 }
 
 impl RtReport {
-    /// Data loss ratio across both shedders.
+    /// Data loss ratio across both shedders (shutdown rejections are not
+    /// losses the shedders chose, but they are offers that never
+    /// completed, so they count toward the denominator only).
     pub fn loss_ratio(&self) -> f64 {
         if self.offered == 0 {
             0.0
@@ -186,63 +171,14 @@ impl RtReport {
     }
 }
 
-/// One worker lifetime: drains the queue until the channel closes.
-/// Extracted so a panicking iteration can be caught and the loop
-/// restarted without losing the receiver.
-fn worker_loop(shared: &Shared, rx: &Receiver<Instant>, cfg: &RtConfig) {
-    let service = cfg.cost.mul_f64(1.0 / cfg.headroom);
-    let target_us = cfg.target_delay.as_micros() as u64;
-    while let Ok(enqueued) = rx.recv() {
-        shared.queue_len.fetch_sub(1, Ordering::Relaxed);
-        let nth = shared.processed.fetch_add(1, Ordering::Relaxed) + 1;
-        if cfg.panic_on_tuple == Some(nth) {
-            panic!("injected worker fault at tuple {nth}");
-        }
-        // In-queue shedding: consume budget instead of work.
-        let mut budget = shared.shed_budget.load(Ordering::Relaxed);
-        let mut shed = false;
-        while budget > 0 {
-            match shared.shed_budget.compare_exchange_weak(
-                budget,
-                budget - 1,
-                Ordering::Relaxed,
-                Ordering::Relaxed,
-            ) {
-                Ok(_) => {
-                    shed = true;
-                    break;
-                }
-                Err(b) => budget = b,
-            }
-        }
-        if shed {
-            shared.dropped_shed.fetch_add(1, Ordering::Relaxed);
-            continue;
-        }
-        std::thread::sleep(service);
-        let delay_us = enqueued.elapsed().as_micros() as u64;
-        shared.completed.fetch_add(1, Ordering::Relaxed);
-        shared.delay_sum_us.fetch_add(delay_us, Ordering::Relaxed);
-        shared.delay_max_us.fetch_max(delay_us, Ordering::Relaxed);
-        if delay_us > target_us {
-            shared.delayed.fetch_add(1, Ordering::Relaxed);
-            shared
-                .violation_sum_us
-                .fetch_add(delay_us - target_us, Ordering::Relaxed);
-        }
-    }
-}
-
 /// Handle for feeding tuples into a running real-time engine.
 pub struct RtEngine {
     shared: Arc<Shared>,
+    work: Arc<WorkerStats>,
     tx: Option<Sender<Instant>>,
     worker: Option<JoinHandle<()>>,
     controller: Option<JoinHandle<()>>,
     cfg: RtConfig,
-    // Entry-shedding coin flips: cheap xorshift; statistical shedding only
-    // needs approximate uniformity.
-    coin_state: AtomicU64,
 }
 
 impl RtEngine {
@@ -254,28 +190,24 @@ impl RtEngine {
         assert!(cfg.headroom > 0.0 && cfg.headroom <= 1.0);
         assert!(cfg.queue_capacity > 0, "queue capacity must be positive");
         let shared = Arc::new(Shared::new());
+        let work = Arc::new(WorkerStats::new());
         let (tx, rx): (Sender<Instant>, Receiver<Instant>) = bounded(cfg.queue_capacity);
 
-        let worker = {
-            let shared = Arc::clone(&shared);
-            let cfg = cfg.clone();
-            std::thread::spawn(move || loop {
-                // A panic inside an iteration (e.g. the injected fault)
-                // unwinds out of `worker_loop`; catch it, count it, and
-                // restart with the same receiver. Only the tuple being
-                // processed is lost. A clean return means the channel
-                // closed: shutdown.
-                match catch_unwind(AssertUnwindSafe(|| worker_loop(&shared, &rx, &cfg))) {
-                    Ok(()) => break,
-                    Err(_) => {
-                        shared.worker_panics.fetch_add(1, Ordering::Relaxed);
-                    }
-                }
-            })
-        };
+        let worker = spawn_supervised(
+            Arc::clone(&work),
+            rx,
+            WorkerConfig {
+                cost: cfg.cost,
+                headroom: cfg.headroom,
+                target_delay: cfg.target_delay,
+                panic_on_tuple: cfg.panic_on_tuple,
+                cost_model: CostModel::Sleep,
+            },
+        );
 
         let controller = {
             let shared = Arc::clone(&shared);
+            let work = Arc::clone(&work);
             let cfg = cfg.clone();
             std::thread::spawn(move || {
                 let start = Instant::now();
@@ -290,7 +222,7 @@ impl RtEngine {
                     if start.elapsed().saturating_sub(due) > cfg.period / 2 {
                         shared.deadline_misses.fetch_add(1, Ordering::Relaxed);
                     }
-                    let now = Counters::read(&shared);
+                    let now = Counters::read(&shared, &work);
                     let delta = now.minus(&last);
                     last = now;
                     let period = SimDuration(cfg.period.as_micros() as u64);
@@ -304,9 +236,9 @@ impl RtEngine {
                         dropped_entry: delta.dropped_entry,
                         dropped_network: delta.dropped_shed,
                         completed,
-                        outstanding: shared.queue_len.load(Ordering::Relaxed),
-                        queued_tuples: shared.queue_len.load(Ordering::Relaxed),
-                        queued_load_us: shared.queue_len.load(Ordering::Relaxed) as f64
+                        outstanding: work.queue_len.load(Ordering::Relaxed),
+                        queued_tuples: work.queue_len.load(Ordering::Relaxed),
+                        queued_load_us: work.queue_len.load(Ordering::Relaxed) as f64
                             * cfg.cost.as_micros() as f64,
                         measured_cost_us: Some(cfg.cost.as_micros() as f64),
                         mean_delay_ms: if completed > 0 {
@@ -328,12 +260,12 @@ impl RtEngine {
                     if old_bits != new_bits {
                         // A sampled skip is only valid under the α it was
                         // drawn for; force the next offer() to resample.
-                        shared.skip_left.store(SKIP_RESAMPLE, Ordering::Relaxed);
+                        shared.shedder.reset_skip();
                     }
                     if decision.shed_load_us > 0.0 {
                         let tuples =
                             (decision.shed_load_us / cfg.cost.as_micros() as f64).ceil() as u64;
-                        shared.shed_budget.fetch_add(tuples, Ordering::Relaxed);
+                        work.shed_budget.fetch_add(tuples, Ordering::Relaxed);
                     }
                     k += 1;
                 }
@@ -342,37 +274,37 @@ impl RtEngine {
 
         Self {
             shared,
+            work,
             tx: Some(tx),
             worker: Some(worker),
             controller: Some(controller),
             cfg,
-            coin_state: AtomicU64::new(0x9E3779B97F4A7C15),
         }
     }
 
     /// Offers one tuple. Returns `false` if the entry shedder dropped it,
     /// the bounded queue rejected it, or the worker is gone.
     ///
-    /// The entry shedder uses geometric skip sampling: most offers only
+    /// The entry shedder is the hybrid of [`AtomicShedder`]: geometric
+    /// skip sampling below `rng::BERNOULLI_ALPHA_MIN` (most offers only
     /// decrement the shared skip counter; an RNG draw happens once per
-    /// drop (and once per α change). Like the coin state it replaces, the
-    /// counter uses racy relaxed load/store — concurrent offerers can
-    /// double-consume a skip, which perturbs the realised drop rate far
-    /// less than scheduling jitter already does.
+    /// drop and once per α change), a per-arrival coin flip above it
+    /// (where frequent drops make skip resampling a net loss).
     pub fn offer(&self) -> bool {
         self.shared.offered.fetch_add(1, Ordering::Relaxed);
         let alpha = self.shared.alpha();
-        if alpha > 0.0 && self.skip_says_drop(alpha) {
+        if alpha > 0.0 && self.shared.shedder.should_drop(alpha) {
             self.shared.dropped_entry.fetch_add(1, Ordering::Relaxed);
             return false;
         }
         let Some(tx) = &self.tx else {
-            self.shared.dropped_entry.fetch_add(1, Ordering::Relaxed);
+            // Shutdown race, not shedding: account separately.
+            self.shared.rejected_closed.fetch_add(1, Ordering::Relaxed);
             return false;
         };
         match tx.try_send(Instant::now()) {
             Ok(()) => {
-                self.shared.queue_len.fetch_add(1, Ordering::Relaxed);
+                self.work.queue_len.fetch_add(1, Ordering::Relaxed);
                 true
             }
             Err(TrySendError::Full(_)) => {
@@ -383,9 +315,9 @@ impl RtEngine {
                 false
             }
             Err(TrySendError::Disconnected(_)) => {
-                // Worker unrecoverably gone; degrade to dropping instead
+                // Worker unrecoverably gone; degrade to rejecting instead
                 // of panicking the caller.
-                self.shared.dropped_entry.fetch_add(1, Ordering::Relaxed);
+                self.shared.rejected_closed.fetch_add(1, Ordering::Relaxed);
                 false
             }
         }
@@ -393,7 +325,7 @@ impl RtEngine {
 
     /// Current queue length (outstanding tuples).
     pub fn queue_len(&self) -> u64 {
-        self.shared.queue_len.load(Ordering::Relaxed)
+        self.work.queue_len.load(Ordering::Relaxed)
     }
 
     /// A live snapshot of the engine's counters in the Prometheus text
@@ -403,8 +335,9 @@ impl RtEngine {
     /// non-blocking.
     pub fn prometheus_text(&self) -> String {
         let s = &self.shared;
-        let completed = s.completed.load(Ordering::Relaxed);
-        let delay_sum_us = s.delay_sum_us.load(Ordering::Relaxed);
+        let w = &self.work;
+        let completed = w.completed.load(Ordering::Relaxed);
+        let delay_sum_us = w.delay_sum_us.load(Ordering::Relaxed);
         let periods = s.periods.load(Ordering::Relaxed);
         let hook_total = s.hook_ns_total.load(Ordering::Relaxed);
         let mut p = PromText::new("streamshed");
@@ -421,7 +354,7 @@ impl RtEngine {
         .counter(
             "dropped_shed_total",
             "Tuples dropped by in-queue shedding",
-            s.dropped_shed.load(Ordering::Relaxed) as f64,
+            w.dropped_shed.load(Ordering::Relaxed) as f64,
         )
         .counter("completed_total", "Tuples fully processed", completed as f64)
         .counter(
@@ -430,9 +363,14 @@ impl RtEngine {
             s.rejected_capacity.load(Ordering::Relaxed) as f64,
         )
         .counter(
+            "rejected_closed_total",
+            "Arrivals rejected because the engine was shut down",
+            s.rejected_closed.load(Ordering::Relaxed) as f64,
+        )
+        .counter(
             "worker_panics_total",
             "Worker panics caught and recovered",
-            s.worker_panics.load(Ordering::Relaxed) as f64,
+            w.worker_panics.load(Ordering::Relaxed) as f64,
         )
         .counter(
             "deadline_misses_total",
@@ -442,12 +380,12 @@ impl RtEngine {
         .counter(
             "delayed_total",
             "Completed tuples whose delay exceeded the target",
-            s.delayed.load(Ordering::Relaxed) as f64,
+            w.delayed.load(Ordering::Relaxed) as f64,
         )
         .counter(
             "violation_us_total",
             "Accumulated delay violation over completed tuples, microseconds",
-            s.violation_sum_us.load(Ordering::Relaxed) as f64,
+            w.violation_sum_us.load(Ordering::Relaxed) as f64,
         )
         .counter(
             "control_periods_total",
@@ -467,13 +405,13 @@ impl RtEngine {
         .gauge(
             "queue_len",
             "Tuples currently queued",
-            s.queue_len.load(Ordering::Relaxed) as f64,
+            w.queue_len.load(Ordering::Relaxed) as f64,
         )
         .gauge("alpha", "Entry drop probability currently in force", s.alpha())
         .gauge(
             "shed_budget",
             "In-queue shed budget outstanding, tuples",
-            s.shed_budget.load(Ordering::Relaxed) as f64,
+            w.shed_budget.load(Ordering::Relaxed) as f64,
         )
         .gauge(
             "delay_mean_ms",
@@ -487,7 +425,7 @@ impl RtEngine {
         .gauge(
             "delay_max_ms",
             "Maximum observed delay, milliseconds",
-            s.delay_max_us.load(Ordering::Relaxed) as f64 / 1e3,
+            w.delay_max_us.load(Ordering::Relaxed) as f64 / 1e3,
         );
         p.finish()
     }
@@ -503,24 +441,26 @@ impl RtEngine {
             let _ = c.join();
         }
         let s = &self.shared;
-        let completed = s.completed.load(Ordering::Relaxed);
-        let delay_sum = s.delay_sum_us.load(Ordering::Relaxed);
+        let w = &self.work;
+        let completed = w.completed.load(Ordering::Relaxed);
+        let delay_sum = w.delay_sum_us.load(Ordering::Relaxed);
         RtReport {
             offered: s.offered.load(Ordering::Relaxed),
             dropped_entry: s.dropped_entry.load(Ordering::Relaxed),
-            dropped_shed: s.dropped_shed.load(Ordering::Relaxed),
+            dropped_shed: w.dropped_shed.load(Ordering::Relaxed),
             completed,
             rejected_at_capacity: s.rejected_capacity.load(Ordering::Relaxed),
-            worker_panics: s.worker_panics.load(Ordering::Relaxed),
+            rejected_closed: s.rejected_closed.load(Ordering::Relaxed),
+            worker_panics: w.worker_panics.load(Ordering::Relaxed),
             deadline_misses: s.deadline_misses.load(Ordering::Relaxed),
             mean_delay_ms: if completed > 0 {
                 delay_sum as f64 / completed as f64 / 1e3
             } else {
                 0.0
             },
-            max_delay_ms: s.delay_max_us.load(Ordering::Relaxed) as f64 / 1e3,
-            delayed_tuples: s.delayed.load(Ordering::Relaxed),
-            accumulated_violation_ms: s.violation_sum_us.load(Ordering::Relaxed) as f64 / 1e3,
+            max_delay_ms: w.delay_max_us.load(Ordering::Relaxed) as f64 / 1e3,
+            delayed_tuples: w.delayed.load(Ordering::Relaxed),
+            accumulated_violation_ms: w.violation_sum_us.load(Ordering::Relaxed) as f64 / 1e3,
             snapshots: s.hook_log.lock().to_vec(),
         }
     }
@@ -528,39 +468,6 @@ impl RtEngine {
     /// The runner's configuration.
     pub fn config(&self) -> &RtConfig {
         &self.cfg
-    }
-
-    /// Entry-shedding decision for one arrival under drop probability
-    /// `alpha` (> 0): consume one admit from the skip counter, resampling
-    /// the geometric gap on each drop or α change.
-    fn skip_says_drop(&self, alpha: f64) -> bool {
-        if alpha >= 1.0 {
-            return true;
-        }
-        let s = self.shared.skip_left.load(Ordering::Relaxed);
-        let current = if s == SKIP_RESAMPLE {
-            sample_skip(alpha, self.coin_flip())
-        } else {
-            s
-        };
-        if current == 0 {
-            let next = sample_skip(alpha, self.coin_flip());
-            self.shared.skip_left.store(next, Ordering::Relaxed);
-            true
-        } else {
-            self.shared.skip_left.store(current - 1, Ordering::Relaxed);
-            false
-        }
-    }
-
-    fn coin_flip(&self) -> f64 {
-        // xorshift64*; uniform enough for statistical shedding.
-        let mut x = self.coin_state.load(Ordering::Relaxed);
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.coin_state.store(x, Ordering::Relaxed);
-        (x.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64
     }
 }
 
@@ -605,6 +512,7 @@ mod tests {
         assert_eq!(report.loss_ratio(), 0.0);
         assert_eq!(report.worker_panics, 0);
         assert_eq!(report.rejected_at_capacity, 0);
+        assert_eq!(report.rejected_closed, 0);
         assert!(report.mean_delay_ms < 50.0, "{}", report.mean_delay_ms);
     }
 
@@ -629,6 +537,32 @@ mod tests {
         let report = engine.shutdown();
         let ratio = report.dropped_entry as f64 / report.offered as f64;
         assert!(ratio > 0.3 && ratio < 0.7, "ratio {ratio}");
+    }
+
+    #[test]
+    fn small_alpha_shedding_uses_skip_branch() {
+        // α = 0.01 sits below BERNOULLI_ALPHA_MIN, so this exercises the
+        // shared skip counter under the same public surface.
+        let cfg = RtConfig {
+            cost: Duration::from_micros(10),
+            period: Duration::from_millis(10),
+            target_delay: Duration::from_millis(20),
+            headroom: 1.0,
+            queue_capacity: 65_536,
+            panic_on_tuple: None,
+        };
+        let hook = |_s: &PeriodSnapshot| Decision::entry(0.01);
+        let engine = RtEngine::spawn(cfg, hook);
+        std::thread::sleep(Duration::from_millis(25));
+        let n = 200_000u64;
+        for _ in 0..n {
+            engine.offer();
+        }
+        let report = engine.shutdown();
+        // Only count the entry-shed drops (capacity rejections excluded).
+        let shed = report.dropped_entry - report.rejected_at_capacity;
+        let ratio = shed as f64 / report.offered as f64;
+        assert!(ratio > 0.003 && ratio < 0.03, "ratio {ratio}");
     }
 
     #[test]
@@ -721,6 +655,7 @@ mod tests {
             report.dropped_entry >= report.rejected_at_capacity,
             "capacity rejections are entry drops"
         );
+        assert_eq!(report.rejected_closed, 0, "no shutdown race in this test");
         assert_eq!(report.offered, 100);
     }
 
@@ -766,6 +701,7 @@ mod tests {
         assert!(text.contains("# TYPE streamshed_queue_len gauge"));
         assert!(text.contains("streamshed_control_periods_total"));
         assert!(text.contains("streamshed_hook_time_ns_total"));
+        assert!(text.contains("streamshed_rejected_closed_total 0"));
         // Every sample line has HELP and TYPE preambles.
         let samples = text.lines().filter(|l| !l.starts_with('#')).count();
         let types = text.lines().filter(|l| l.starts_with("# TYPE")).count();
@@ -812,13 +748,13 @@ struct Counters {
 }
 
 impl Counters {
-    fn read(s: &Shared) -> Self {
+    fn read(s: &Shared, w: &WorkerStats) -> Self {
         Self {
             offered: s.offered.load(Ordering::Relaxed),
             dropped_entry: s.dropped_entry.load(Ordering::Relaxed),
-            dropped_shed: s.dropped_shed.load(Ordering::Relaxed),
-            completed: s.completed.load(Ordering::Relaxed),
-            delay_sum_us: s.delay_sum_us.load(Ordering::Relaxed),
+            dropped_shed: w.dropped_shed.load(Ordering::Relaxed),
+            completed: w.completed.load(Ordering::Relaxed),
+            delay_sum_us: w.delay_sum_us.load(Ordering::Relaxed),
         }
     }
 

@@ -1,0 +1,878 @@
+//! A sharded real-time data plane under one global controller.
+//!
+//! This generalizes the single-worker [`RtEngine`](crate::rt::RtEngine)
+//! to `N` worker shards. Each shard owns a bounded SPSC tuple queue, a
+//! supervised worker (panic-catch-and-restart, shared with `rt` via
+//! [`worker`](crate::worker)), a local measured-cost EWMA (its cost
+//! model), and local drop counters. A shared [`ShardedEngine::offer`]
+//! front door dispatches tuples round-robin or by key hash, reusing the
+//! hybrid entry-shedder seam ([`AtomicShedder`]) so admission control is
+//! one decision regardless of shard count.
+//!
+//! **One controller suffices.** Per the paper's §4.2, the plant
+//! `G(z) = cT/(H(z−1))` models the *aggregate* system: the path
+//! structure of the query network (and, here, its partitioning across
+//! workers) only changes the constant `c`. The controller therefore
+//! observes the global virtual-queue signal `q(k) = Σᵢ qᵢ(k)` — the sum
+//! of per-shard queue lengths — runs the unchanged pole-placement loop,
+//! and broadcasts a single output: one entry drop probability `α(k)`
+//! applied at the shared front door, plus an in-queue shed load divided
+//! among shards in proportion to their queue lengths (each shard
+//! converts its share to tuples through its own measured cost). This is
+//! the paper's per-node shedder with a global coordinator.
+//!
+//! Counter balance is an invariant, not an aspiration — the stress tests
+//! assert, under concurrent offers, worker panics, and shutdown:
+//!
+//! ```text
+//! offered  == dropped_entry + rejected_closed + Σᵢ dispatchedᵢ
+//! Σᵢ dispatchedᵢ == completed + dropped_shed + worker_panics   (drained)
+//! ```
+//!
+//! where `dropped_entry` includes capacity rejections (backpressure is
+//! accounted exactly as in the single-worker engine) and every caught
+//! worker panic loses exactly the tuple being processed.
+
+use crate::hook::PeriodSnapshot;
+use crate::rng::AtomicShedder;
+use crate::telemetry::{ControlTrace, InstrumentedHook, PromText, SharedRecorder};
+use crate::time::{SimDuration, SimTime};
+use crate::worker::{spawn_supervised, CostModel, WorkerConfig, WorkerStats};
+use crossbeam::channel::{bounded, Sender, TrySendError};
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How the front door routes an admitted tuple to a shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Dispatch {
+    /// Strict rotation over shards — the best load balance when tuples
+    /// are exchangeable.
+    #[default]
+    RoundRobin,
+    /// Route by key hash, so equal keys always land on the same shard
+    /// (what a partitioned-state operator needs). [`ShardedEngine::offer`]
+    /// without an explicit key uses the arrival sequence number as the
+    /// key; [`ShardedEngine::offer_keyed`] always hashes its argument.
+    KeyHash,
+}
+
+/// Configuration of the sharded data plane.
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// Number of worker shards (≥ 1).
+    pub shards: usize,
+    /// Nominal CPU work per tuple.
+    pub cost: Duration,
+    /// Control period of the global controller.
+    pub period: Duration,
+    /// Delay target for violation accounting.
+    pub target_delay: Duration,
+    /// Headroom factor `H` applied by every shard.
+    pub headroom: f64,
+    /// Capacity of each shard's bounded queue.
+    pub queue_capacity: usize,
+    /// Fault injection: every shard panics while processing its n-th
+    /// local tuple (1-based). Each panic is caught, the shard restarted,
+    /// and exactly one tuple lost.
+    pub panic_on_tuple: Option<u64>,
+    /// How shards burn the per-tuple service time ([`CostModel::Sleep`]
+    /// overlaps on one core; [`CostModel::Spin`] scales with cores).
+    pub cost_model: CostModel,
+    /// Front-door routing policy.
+    pub dispatch: Dispatch,
+}
+
+impl ShardConfig {
+    /// A fast demo configuration mirroring [`RtConfig::demo`]
+    /// (2 ms tuples, 100 ms period, 200 ms target) at `shards` shards.
+    ///
+    /// [`RtConfig::demo`]: crate::rt::RtConfig::demo
+    pub fn demo(shards: usize) -> Self {
+        Self {
+            shards,
+            cost: Duration::from_millis(2),
+            period: Duration::from_millis(100),
+            target_delay: Duration::from_millis(200),
+            headroom: 0.97,
+            queue_capacity: 4096,
+            panic_on_tuple: None,
+            cost_model: CostModel::Sleep,
+            dispatch: Dispatch::RoundRobin,
+        }
+    }
+}
+
+/// One shard: its worker stats, its send side (write-locked only to
+/// close), its dispatch counter, and its supervisor handle.
+struct Shard {
+    stats: Arc<WorkerStats>,
+    /// `offer()` sends while holding the read lock; `close()` takes the
+    /// write lock and drops the sender. The lock makes close-vs-offer
+    /// race-free: after `close()` returns, no offer can sneak a tuple
+    /// into a queue nobody will drain, so the balance invariant is exact.
+    tx: RwLock<Option<Sender<Instant>>>,
+    /// Tuples successfully sent to this shard's queue.
+    dispatched: AtomicU64,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// Front-door and controller counters shared across threads.
+struct Global {
+    alpha_bits: AtomicU64,
+    offered: AtomicU64,
+    dropped_entry: AtomicU64,
+    rejected_capacity: AtomicU64,
+    rejected_closed: AtomicU64,
+    deadline_misses: AtomicU64,
+    periods: AtomicU64,
+    hook_ns_total: AtomicU64,
+    rr_next: AtomicU64,
+    stop: AtomicBool,
+    shedder: AtomicShedder,
+}
+
+impl Global {
+    fn new() -> Self {
+        Self {
+            alpha_bits: AtomicU64::new(0.0f64.to_bits()),
+            offered: AtomicU64::new(0),
+            dropped_entry: AtomicU64::new(0),
+            rejected_capacity: AtomicU64::new(0),
+            rejected_closed: AtomicU64::new(0),
+            deadline_misses: AtomicU64::new(0),
+            periods: AtomicU64::new(0),
+            hook_ns_total: AtomicU64::new(0),
+            rr_next: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+            shedder: AtomicShedder::new(0xA076_1D64_78BD_642F),
+        }
+    }
+
+    fn alpha(&self) -> f64 {
+        f64::from_bits(self.alpha_bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Fibonacci hash of a dispatch key onto a shard index.
+#[inline]
+fn key_to_shard(key: u64, shards: usize) -> usize {
+    (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % shards
+}
+
+/// Per-shard slice of a [`ShardReport`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardStat {
+    /// Tuples dispatched to this shard's queue.
+    pub dispatched: u64,
+    /// Tuples this shard fully processed.
+    pub completed: u64,
+    /// Tuples this shard dropped by consuming shed budget.
+    pub dropped_shed: u64,
+    /// Panics this shard's supervisor caught (one tuple lost each).
+    pub worker_panics: u64,
+    /// Mean delay of this shard's completions, ms.
+    pub mean_delay_ms: f64,
+    /// The shard's measured per-tuple cost EWMA, µs (`NaN` if it never
+    /// completed a tuple).
+    pub cost_ewma_us: f64,
+}
+
+/// Final report of a sharded run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardReport {
+    /// Tuples offered at the front door.
+    pub offered: u64,
+    /// Tuples dropped at entry (shedder drops + capacity rejections).
+    pub dropped_entry: u64,
+    /// Of the entry drops, arrivals rejected because the target shard's
+    /// queue was full.
+    pub rejected_at_capacity: u64,
+    /// Arrivals rejected because the engine was closed or shut down.
+    pub rejected_closed: u64,
+    /// Tuples dropped across shards by in-queue shedding.
+    pub dropped_shed: u64,
+    /// Tuples fully processed across shards.
+    pub completed: u64,
+    /// Worker panics caught across shards.
+    pub worker_panics: u64,
+    /// Control-period boundaries serviced more than T/2 late.
+    pub deadline_misses: u64,
+    /// Control-hook invocations.
+    pub periods: u64,
+    /// Mean delay across all completed tuples, ms.
+    pub mean_delay_ms: f64,
+    /// Per-shard breakdown, indexed by shard id.
+    pub per_shard: Vec<ShardStat>,
+}
+
+impl ShardReport {
+    /// The exact counter-balance invariant; `true` when every offered
+    /// tuple is accounted for in exactly one outcome. Valid after
+    /// shutdown (queues drained).
+    pub fn counters_balance(&self) -> bool {
+        let dispatched: u64 = self.per_shard.iter().map(|s| s.dispatched).sum();
+        self.offered == self.dropped_entry + self.rejected_closed + dispatched
+            && dispatched == self.completed + self.dropped_shed + self.worker_panics
+    }
+
+    /// Data loss ratio across both shedders.
+    pub fn loss_ratio(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            (self.dropped_entry + self.dropped_shed) as f64 / self.offered as f64
+        }
+    }
+}
+
+/// Handle for feeding tuples into a running sharded engine.
+pub struct ShardedEngine {
+    global: Arc<Global>,
+    shards: Vec<Shard>,
+    controller: Option<JoinHandle<()>>,
+    cfg: ShardConfig,
+}
+
+impl ShardedEngine {
+    /// Spawns `cfg.shards` supervised workers plus one global controller
+    /// thread driving `hook`.
+    pub fn spawn<H>(cfg: ShardConfig, hook: H) -> Self
+    where
+        H: InstrumentedHook + Send + 'static,
+    {
+        Self::spawn_recorded(cfg, hook, None)
+    }
+
+    /// Like [`Self::spawn`], additionally capturing one [`ControlTrace`]
+    /// per control period (with per-shard queue lengths attached) into
+    /// `recorder`.
+    pub fn spawn_recorded<H>(
+        cfg: ShardConfig,
+        mut hook: H,
+        recorder: Option<SharedRecorder>,
+    ) -> Self
+    where
+        H: InstrumentedHook + Send + 'static,
+    {
+        assert!(cfg.shards >= 1, "need at least one shard");
+        assert!(cfg.headroom > 0.0 && cfg.headroom <= 1.0);
+        assert!(cfg.queue_capacity > 0, "queue capacity must be positive");
+        let global = Arc::new(Global::new());
+        let shards: Vec<Shard> = (0..cfg.shards)
+            .map(|_| {
+                let stats = Arc::new(WorkerStats::new());
+                let (tx, rx) = bounded(cfg.queue_capacity);
+                let handle = spawn_supervised(
+                    Arc::clone(&stats),
+                    rx,
+                    WorkerConfig {
+                        cost: cfg.cost,
+                        headroom: cfg.headroom,
+                        target_delay: cfg.target_delay,
+                        panic_on_tuple: cfg.panic_on_tuple,
+                        cost_model: cfg.cost_model,
+                    },
+                );
+                Shard {
+                    stats,
+                    tx: RwLock::new(Some(tx)),
+                    dispatched: AtomicU64::new(0),
+                    handle: Some(handle),
+                }
+            })
+            .collect();
+
+        let controller = {
+            let global = Arc::clone(&global);
+            let stats: Vec<Arc<WorkerStats>> =
+                shards.iter().map(|s| Arc::clone(&s.stats)).collect();
+            let cfg = cfg.clone();
+            let mut recorder = recorder;
+            std::thread::spawn(move || {
+                let start = Instant::now();
+                let mut k = 0u64;
+                let mut last = Totals::default();
+                let mut queues = vec![0u64; cfg.shards];
+                while !global.stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(cfg.period);
+                    let due = cfg.period.mul_f64((k + 1) as f64);
+                    if start.elapsed().saturating_sub(due) > cfg.period / 2 {
+                        global.deadline_misses.fetch_add(1, Ordering::Relaxed);
+                    }
+
+                    // Monitor: the global virtual-queue signal is the sum
+                    // of per-shard queue lengths, q(k) = Σ qᵢ(k).
+                    for (i, st) in stats.iter().enumerate() {
+                        queues[i] = st.queue_len.load(Ordering::Relaxed);
+                    }
+                    let q_total: u64 = queues.iter().sum();
+                    let now = Totals::read(&global, &stats);
+                    let delta = now.minus(&last);
+                    last = now;
+
+                    // Aggregate cost model: completed-weighted mean of
+                    // the per-shard EWMAs (falls back to the nominal
+                    // cost until any shard has a measurement).
+                    let mut cost_w = 0.0f64;
+                    let mut cost_n = 0.0f64;
+                    for st in stats.iter() {
+                        let c = st.cost_ewma_us();
+                        if c.is_finite() {
+                            let w = (st.completed.load(Ordering::Relaxed) as f64).max(1.0);
+                            cost_w += c * w;
+                            cost_n += w;
+                        }
+                    }
+                    let measured = cost_n > 0.0;
+                    let cost_us = if measured {
+                        cost_w / cost_n
+                    } else {
+                        cfg.cost.as_micros() as f64
+                    };
+                    // The *plant* constant the controller must see is the
+                    // aggregate per-tuple cost: N shards drain the global
+                    // queue concurrently, so one queued tuple holds the
+                    // system for c/N wall-clock (the paper's §4.2 — the
+                    // plant structure only changes the constant c). The
+                    // undivided local cost is still what a shard's shed
+                    // budget must use below.
+                    let plant_cost_us = cost_us / cfg.shards as f64;
+
+                    let completed = delta.completed;
+                    let snapshot = PeriodSnapshot {
+                        k,
+                        now: SimTime(start.elapsed().as_micros() as u64),
+                        period: SimDuration(cfg.period.as_micros() as u64),
+                        offered: delta.offered,
+                        admitted: delta.offered - delta.dropped_entry,
+                        dropped_entry: delta.dropped_entry,
+                        dropped_network: delta.dropped_shed,
+                        completed,
+                        outstanding: q_total,
+                        queued_tuples: q_total,
+                        queued_load_us: q_total as f64 * plant_cost_us,
+                        measured_cost_us: measured.then_some(plant_cost_us),
+                        mean_delay_ms: (completed > 0)
+                            .then(|| delta.delay_sum_us as f64 / completed as f64 / 1e3),
+                        cpu_busy_us: (completed as f64 * cost_us) as u64,
+                    };
+
+                    let t0 = Instant::now();
+                    let decision = hook.on_period(&snapshot);
+                    let hook_ns = t0.elapsed().as_nanos() as u64;
+                    global.hook_ns_total.fetch_add(hook_ns, Ordering::Relaxed);
+                    global.periods.fetch_add(1, Ordering::Relaxed);
+
+                    // Actuate: one α broadcast to the shared front door…
+                    let new_bits = decision.entry_drop_prob.clamp(0.0, 1.0).to_bits();
+                    let old_bits = global.alpha_bits.swap(new_bits, Ordering::Relaxed);
+                    if old_bits != new_bits {
+                        global.shedder.reset_skip();
+                    }
+                    // …and the in-queue shed load divided among shards in
+                    // proportion to their queues, each share converted to
+                    // tuples through that shard's own measured cost.
+                    if decision.shed_load_us > 0.0 && q_total > 0 {
+                        for (i, st) in stats.iter().enumerate() {
+                            if queues[i] == 0 {
+                                continue;
+                            }
+                            let share =
+                                decision.shed_load_us * queues[i] as f64 / q_total as f64;
+                            let local_cost = {
+                                let c = st.cost_ewma_us();
+                                if c.is_finite() && c > 0.0 {
+                                    c
+                                } else {
+                                    cfg.cost.as_micros() as f64
+                                }
+                            };
+                            let tuples = (share / local_cost).ceil() as u64;
+                            if tuples > 0 {
+                                st.shed_budget.fetch_add(tuples, Ordering::Relaxed);
+                            }
+                        }
+                    }
+
+                    if let Some(rec) = recorder.as_mut() {
+                        use crate::telemetry::EventSink as _;
+                        let state = hook.control_state();
+                        let trace =
+                            ControlTrace::capture(&snapshot, &decision, state.as_ref(), hook_ns)
+                                .with_shard_queues(&queues);
+                        rec.record(&trace);
+                    }
+                    k += 1;
+                }
+            })
+        };
+
+        Self {
+            global,
+            shards,
+            controller: Some(controller),
+            cfg,
+        }
+    }
+
+    /// Offers one tuple through the configured [`Dispatch`] policy.
+    /// Returns `false` if the entry shedder dropped it, the target
+    /// shard's queue was full, or the engine is closed.
+    pub fn offer(&self) -> bool {
+        let seq = self.global.rr_next.fetch_add(1, Ordering::Relaxed);
+        let idx = match self.cfg.dispatch {
+            Dispatch::RoundRobin => (seq % self.cfg.shards as u64) as usize,
+            Dispatch::KeyHash => key_to_shard(seq, self.cfg.shards),
+        };
+        self.offer_to(idx)
+    }
+
+    /// Offers one tuple routed by `key` (equal keys always reach the
+    /// same shard), regardless of the configured dispatch policy.
+    pub fn offer_keyed(&self, key: u64) -> bool {
+        self.offer_to(key_to_shard(key, self.cfg.shards))
+    }
+
+    fn offer_to(&self, idx: usize) -> bool {
+        self.global.offered.fetch_add(1, Ordering::Relaxed);
+        let alpha = self.global.alpha();
+        if alpha > 0.0 && self.global.shedder.should_drop(alpha) {
+            self.global.dropped_entry.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        let shard = &self.shards[idx];
+        let guard = shard.tx.read();
+        let Some(tx) = guard.as_ref() else {
+            self.global.rejected_closed.fetch_add(1, Ordering::Relaxed);
+            return false;
+        };
+        match tx.try_send(Instant::now()) {
+            Ok(()) => {
+                shard.stats.queue_len.fetch_add(1, Ordering::Relaxed);
+                shard.dispatched.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            Err(TrySendError::Full(_)) => {
+                self.global.rejected_capacity.fetch_add(1, Ordering::Relaxed);
+                self.global.dropped_entry.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                self.global.rejected_closed.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.cfg.shards
+    }
+
+    /// The global virtual-queue signal: Σᵢ qᵢ.
+    pub fn queue_len(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.stats.queue_len.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &ShardConfig {
+        &self.cfg
+    }
+
+    /// Closes the front door: every subsequent offer is counted
+    /// `rejected_closed`, and workers exit once their queues drain.
+    /// Idempotent; safe to race with concurrent `offer()` calls.
+    pub fn close(&self) {
+        for shard in &self.shards {
+            shard.tx.write().take();
+        }
+    }
+
+    /// A live snapshot in the Prometheus text exposition format:
+    /// `streamshed_*` global counters plus `streamshed_shard_*` families
+    /// labelled `{shard="i"}`.
+    pub fn prometheus_text(&self) -> String {
+        let g = &self.global;
+        let per = |f: &dyn Fn(&Shard) -> f64| -> Vec<f64> { self.shards.iter().map(f).collect() };
+        let completed: u64 = self
+            .shards
+            .iter()
+            .map(|s| s.stats.completed.load(Ordering::Relaxed))
+            .sum();
+        let delay_sum: u64 = self
+            .shards
+            .iter()
+            .map(|s| s.stats.delay_sum_us.load(Ordering::Relaxed))
+            .sum();
+        let mut p = PromText::new("streamshed");
+        p.counter(
+            "offered_total",
+            "Tuples offered at the front door",
+            g.offered.load(Ordering::Relaxed) as f64,
+        )
+        .counter(
+            "dropped_entry_total",
+            "Tuples dropped by the entry shedder (incl. capacity rejections)",
+            g.dropped_entry.load(Ordering::Relaxed) as f64,
+        )
+        .counter(
+            "rejected_capacity_total",
+            "Arrivals rejected because the target shard's queue was full",
+            g.rejected_capacity.load(Ordering::Relaxed) as f64,
+        )
+        .counter(
+            "rejected_closed_total",
+            "Arrivals rejected because the engine was closed",
+            g.rejected_closed.load(Ordering::Relaxed) as f64,
+        )
+        .counter("completed_total", "Tuples fully processed", completed as f64)
+        .counter(
+            "deadline_misses_total",
+            "Control-period boundaries serviced more than T/2 late",
+            g.deadline_misses.load(Ordering::Relaxed) as f64,
+        )
+        .counter(
+            "control_periods_total",
+            "Control-hook invocations",
+            g.periods.load(Ordering::Relaxed) as f64,
+        )
+        .counter(
+            "hook_time_ns_total",
+            "Wall-clock nanoseconds spent inside the control hook",
+            g.hook_ns_total.load(Ordering::Relaxed) as f64,
+        )
+        .gauge("alpha", "Entry drop probability currently in force", g.alpha())
+        .gauge("shards", "Number of worker shards", self.cfg.shards as f64)
+        .gauge(
+            "queue_len",
+            "Global virtual queue q(k) = sum of shard queues",
+            self.queue_len() as f64,
+        )
+        .gauge(
+            "delay_mean_ms",
+            "Mean delay of completed tuples, milliseconds",
+            if completed > 0 {
+                delay_sum as f64 / completed as f64 / 1e3
+            } else {
+                0.0
+            },
+        )
+        .counter_vec(
+            "shard_dispatched_total",
+            "Tuples dispatched to each shard",
+            "shard",
+            &per(&|s| s.dispatched.load(Ordering::Relaxed) as f64),
+        )
+        .counter_vec(
+            "shard_completed_total",
+            "Tuples each shard fully processed",
+            "shard",
+            &per(&|s| s.stats.completed.load(Ordering::Relaxed) as f64),
+        )
+        .counter_vec(
+            "shard_dropped_shed_total",
+            "Tuples each shard dropped by in-queue shedding",
+            "shard",
+            &per(&|s| s.stats.dropped_shed.load(Ordering::Relaxed) as f64),
+        )
+        .counter_vec(
+            "shard_worker_panics_total",
+            "Worker panics caught per shard",
+            "shard",
+            &per(&|s| s.stats.worker_panics.load(Ordering::Relaxed) as f64),
+        )
+        .gauge_vec(
+            "shard_queue_len",
+            "Tuples queued per shard",
+            "shard",
+            &per(&|s| s.stats.queue_len.load(Ordering::Relaxed) as f64),
+        )
+        .gauge_vec(
+            "shard_cost_ewma_us",
+            "Measured per-tuple cost EWMA per shard, microseconds (NaN until measured)",
+            "shard",
+            &per(&|s| s.stats.cost_ewma_us()),
+        );
+        p.finish()
+    }
+
+    /// Stops the controller, closes the front door, joins every worker
+    /// (draining their queues), and returns the final report.
+    pub fn shutdown(mut self) -> ShardReport {
+        self.global.stop.store(true, Ordering::Relaxed);
+        self.close();
+        if let Some(c) = self.controller.take() {
+            let _ = c.join();
+        }
+        for shard in &mut self.shards {
+            if let Some(h) = shard.handle.take() {
+                let _ = h.join();
+            }
+        }
+        let mut per_shard = Vec::with_capacity(self.cfg.shards);
+        let mut delay_sum = 0u64;
+        let mut completed = 0u64;
+        let mut dropped_shed = 0u64;
+        let mut panics = 0u64;
+        for shard in &self.shards {
+            let st = &shard.stats;
+            let c = st.completed.load(Ordering::Relaxed);
+            let d = st.delay_sum_us.load(Ordering::Relaxed);
+            completed += c;
+            delay_sum += d;
+            dropped_shed += st.dropped_shed.load(Ordering::Relaxed);
+            panics += st.worker_panics.load(Ordering::Relaxed);
+            per_shard.push(ShardStat {
+                dispatched: shard.dispatched.load(Ordering::Relaxed),
+                completed: c,
+                dropped_shed: st.dropped_shed.load(Ordering::Relaxed),
+                worker_panics: st.worker_panics.load(Ordering::Relaxed),
+                mean_delay_ms: if c > 0 { d as f64 / c as f64 / 1e3 } else { 0.0 },
+                cost_ewma_us: st.cost_ewma_us(),
+            });
+        }
+        let g = &self.global;
+        ShardReport {
+            offered: g.offered.load(Ordering::Relaxed),
+            dropped_entry: g.dropped_entry.load(Ordering::Relaxed),
+            rejected_at_capacity: g.rejected_capacity.load(Ordering::Relaxed),
+            rejected_closed: g.rejected_closed.load(Ordering::Relaxed),
+            dropped_shed,
+            completed,
+            worker_panics: panics,
+            deadline_misses: g.deadline_misses.load(Ordering::Relaxed),
+            periods: g.periods.load(Ordering::Relaxed),
+            mean_delay_ms: if completed > 0 {
+                delay_sum as f64 / completed as f64 / 1e3
+            } else {
+                0.0
+            },
+            per_shard,
+        }
+    }
+}
+
+impl Drop for ShardedEngine {
+    fn drop(&mut self) {
+        self.global.stop.store(true, Ordering::Relaxed);
+        self.close();
+        if let Some(c) = self.controller.take() {
+            let _ = c.join();
+        }
+        for shard in &mut self.shards {
+            if let Some(h) = shard.handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+/// Aggregated deltas the controller tracks period to period.
+#[derive(Default, Clone, Copy)]
+struct Totals {
+    offered: u64,
+    dropped_entry: u64,
+    dropped_shed: u64,
+    completed: u64,
+    delay_sum_us: u64,
+}
+
+impl Totals {
+    fn read(g: &Global, stats: &[Arc<WorkerStats>]) -> Self {
+        let mut t = Self {
+            offered: g.offered.load(Ordering::Relaxed),
+            dropped_entry: g.dropped_entry.load(Ordering::Relaxed),
+            ..Self::default()
+        };
+        for s in stats {
+            t.dropped_shed += s.dropped_shed.load(Ordering::Relaxed);
+            t.completed += s.completed.load(Ordering::Relaxed);
+            t.delay_sum_us += s.delay_sum_us.load(Ordering::Relaxed);
+        }
+        t
+    }
+
+    fn minus(&self, o: &Self) -> Self {
+        Self {
+            offered: self.offered - o.offered,
+            dropped_entry: self.dropped_entry - o.dropped_entry,
+            dropped_shed: self.dropped_shed - o.dropped_shed,
+            completed: self.completed - o.completed,
+            delay_sum_us: self.delay_sum_us - o.delay_sum_us,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hook::{Decision, NoShedding};
+    use crate::telemetry::SharedRecorder;
+
+    fn quick_cfg(shards: usize) -> ShardConfig {
+        ShardConfig {
+            shards,
+            cost: Duration::from_micros(200),
+            period: Duration::from_millis(20),
+            target_delay: Duration::from_millis(100),
+            headroom: 1.0,
+            queue_capacity: 4096,
+            panic_on_tuple: None,
+            cost_model: CostModel::Sleep,
+            dispatch: Dispatch::RoundRobin,
+        }
+    }
+
+    #[test]
+    fn round_robin_balances_and_completes_everything() {
+        let engine = ShardedEngine::spawn(quick_cfg(4), NoShedding);
+        for _ in 0..200 {
+            engine.offer();
+            std::thread::sleep(Duration::from_micros(300));
+        }
+        std::thread::sleep(Duration::from_millis(100));
+        let report = engine.shutdown();
+        assert_eq!(report.offered, 200);
+        assert_eq!(report.completed, 200);
+        assert!(report.counters_balance(), "{report:?}");
+        for s in &report.per_shard {
+            assert_eq!(s.dispatched, 50, "round robin is exact");
+            assert!(s.cost_ewma_us.is_finite());
+        }
+    }
+
+    #[test]
+    fn key_hash_is_sticky_per_key() {
+        let engine = ShardedEngine::spawn(quick_cfg(4), NoShedding);
+        // All offers carry the same key: exactly one shard gets them.
+        for _ in 0..80 {
+            engine.offer_keyed(0xDEADBEEF);
+            std::thread::sleep(Duration::from_micros(300));
+        }
+        std::thread::sleep(Duration::from_millis(100));
+        let report = engine.shutdown();
+        let non_empty: Vec<_> = report.per_shard.iter().filter(|s| s.dispatched > 0).collect();
+        assert_eq!(non_empty.len(), 1, "one shard owns the key");
+        assert_eq!(non_empty[0].dispatched, 80);
+        assert!(report.counters_balance());
+    }
+
+    #[test]
+    fn global_alpha_sheds_at_the_front_door() {
+        let cfg = quick_cfg(2);
+        let hook = |_s: &PeriodSnapshot| Decision::entry(0.5);
+        let engine = ShardedEngine::spawn(cfg, hook);
+        std::thread::sleep(Duration::from_millis(50)); // let α take effect
+        for _ in 0..400 {
+            engine.offer();
+            std::thread::sleep(Duration::from_micros(100));
+        }
+        let report = engine.shutdown();
+        let ratio = report.dropped_entry as f64 / report.offered as f64;
+        assert!(ratio > 0.3 && ratio < 0.7, "ratio {ratio}");
+        assert!(report.counters_balance());
+    }
+
+    #[test]
+    fn shed_load_divides_across_queued_shards() {
+        let cfg = ShardConfig {
+            cost: Duration::from_millis(5),
+            period: Duration::from_millis(10),
+            target_delay: Duration::from_millis(20),
+            ..quick_cfg(2)
+        };
+        let hook = |_s: &PeriodSnapshot| Decision::network(50_000.0);
+        let engine = ShardedEngine::spawn(cfg, hook);
+        for _ in 0..200 {
+            engine.offer();
+        }
+        std::thread::sleep(Duration::from_millis(150));
+        let report = engine.shutdown();
+        assert!(report.dropped_shed > 0, "{report:?}");
+        assert!(report.counters_balance());
+    }
+
+    #[test]
+    fn per_shard_panics_lose_exactly_one_tuple_each() {
+        let mut cfg = quick_cfg(3);
+        cfg.panic_on_tuple = Some(5);
+        let engine = ShardedEngine::spawn(cfg, NoShedding);
+        for _ in 0..90 {
+            engine.offer();
+            std::thread::sleep(Duration::from_micros(300));
+        }
+        std::thread::sleep(Duration::from_millis(100));
+        let report = engine.shutdown();
+        assert_eq!(report.worker_panics, 3, "one caught panic per shard");
+        assert_eq!(report.completed, 90 - 3);
+        assert!(report.counters_balance(), "{report:?}");
+    }
+
+    #[test]
+    fn offers_after_close_count_rejected_closed() {
+        let engine = ShardedEngine::spawn(quick_cfg(2), NoShedding);
+        for _ in 0..20 {
+            engine.offer();
+        }
+        engine.close();
+        for _ in 0..30 {
+            assert!(!engine.offer());
+        }
+        let report = engine.shutdown();
+        assert_eq!(report.offered, 50);
+        assert_eq!(report.rejected_closed, 30);
+        assert_eq!(report.dropped_entry, 0, "closure is not shedding");
+        assert!(report.counters_balance(), "{report:?}");
+    }
+
+    #[test]
+    fn prometheus_text_has_shard_labels() {
+        let engine = ShardedEngine::spawn(quick_cfg(2), NoShedding);
+        for _ in 0..10 {
+            engine.offer();
+        }
+        std::thread::sleep(Duration::from_millis(30));
+        let text = engine.prometheus_text();
+        assert!(text.contains("streamshed_shards 2"));
+        assert!(text.contains("streamshed_shard_dispatched_total{shard=\"0\"}"));
+        assert!(text.contains("streamshed_shard_dispatched_total{shard=\"1\"}"));
+        assert!(!text.contains("{shard=\"2\"}"));
+        assert_eq!(
+            text.matches("# TYPE streamshed_shard_queue_len gauge").count(),
+            1,
+            "one preamble per family"
+        );
+        drop(engine);
+    }
+
+    #[test]
+    fn recorder_captures_per_shard_queues() {
+        let rec = SharedRecorder::with_capacity(256);
+        let cfg = ShardConfig {
+            period: Duration::from_millis(10),
+            ..quick_cfg(3)
+        };
+        let engine = ShardedEngine::spawn_recorded(cfg, NoShedding, Some(rec.clone()));
+        for _ in 0..60 {
+            engine.offer();
+            std::thread::sleep(Duration::from_micros(300));
+        }
+        std::thread::sleep(Duration::from_millis(50));
+        let report = engine.shutdown();
+        assert!(report.periods >= 3);
+        let traces = rec.snapshot();
+        assert!(!traces.is_empty());
+        assert!(traces.iter().all(|t| t.shards == 3));
+        // The recorded global signal is the sum of the recorded shards.
+        for t in &traces {
+            let sum: u64 = t.shard_queues.iter().sum();
+            assert_eq!(sum, t.outstanding, "q(k) = sum of shard queues");
+        }
+    }
+}

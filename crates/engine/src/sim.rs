@@ -20,7 +20,7 @@ use crate::cost::CostSchedule;
 use crate::hook::{ControlHook, Decision, PeriodSnapshot};
 use crate::metrics::{MetricsAccumulator, PeriodRecord, RunReport};
 use crate::network::{NodeId, QueryNetwork};
-use crate::rng::{engine_rng, EngineRng, GeometricSkip};
+use crate::rng::{engine_rng, EngineRng, EntryShedder};
 use crate::telemetry::{EventSink, SharedRecorder, SpanKind};
 use crate::operator::OutputBuffer;
 use crate::time::{secs, SimDuration, SimTime};
@@ -261,9 +261,10 @@ pub struct Simulator {
     /// in lockstep with `input_buffer` so the period-boundary load
     /// estimate is O(entries) instead of O(buffered tuples).
     buffered_per_entry: Vec<u64>,
-    /// Entry-shedder skip-sampling state, one per entry position; reset
-    /// whenever the controller issues a new decision.
-    entry_skip: Vec<Option<GeometricSkip>>,
+    /// Entry-shedder state, one per entry position (hybrid Bernoulli /
+    /// geometric-skip, picked from the commanded α); reset whenever the
+    /// controller issues a new decision.
+    entry_skip: Vec<Option<EntryShedder>>,
     /// Flattened routing tables, one per node.
     fanout: Vec<Fanout>,
     roots: RootSlab,
@@ -708,14 +709,16 @@ impl Simulator {
                 cursor = 0;
             }
             let alpha = decision.drop_prob_for_entry(entry_pos);
-            // Geometric skip sampling: one RNG draw per *drop* instead
-            // of a coin flip per arrival. Statistically identical to
-            // iid Bernoulli(α) (see `rng::GeometricSkip`); the state is
-            // reset at every new decision, which is harmless because
-            // the geometric distribution is memoryless.
+            // Hybrid entry shedding: geometric skip sampling (one RNG
+            // draw per *drop*) below `rng::BERNOULLI_ALPHA_MIN`, a plain
+            // coin flip per arrival above it — each branch is the faster
+            // sampler in its α regime and both are statistically iid
+            // Bernoulli(α) (see `rng::EntryShedder`). The state is reset
+            // at every new decision, which is harmless because the
+            // geometric distribution is memoryless.
             if alpha > 0.0 {
                 let skip = self.entry_skip[entry_pos]
-                    .get_or_insert_with(|| GeometricSkip::new(alpha, &mut self.rng));
+                    .get_or_insert_with(|| EntryShedder::new(alpha, &mut self.rng));
                 if skip.should_drop(&mut self.rng) {
                     pc.dropped_entry += 1;
                     metrics.dropped_entry += 1;

@@ -160,6 +160,14 @@ impl<F> InstrumentedHook for F where F: FnMut(&PeriodSnapshot) -> Decision {}
 // ControlTrace
 // ---------------------------------------------------------------------------
 
+/// Maximum number of per-shard queue lengths a [`ControlTrace`] retains.
+///
+/// The trace must stay `Copy` (the ring buffer never allocates), so the
+/// per-shard view is a fixed-size array. Runs with more shards than this
+/// record the first `MAX_TRACE_SHARDS` and the true count in
+/// [`ControlTrace::shards`].
+pub const MAX_TRACE_SHARDS: usize = 8;
+
 /// One structured record per control period — the full observable state
 /// of the loop: what the monitor saw, what the controller computed, what
 /// the actuator was told, and what faults interfered.
@@ -213,6 +221,13 @@ pub struct ControlTrace {
     pub fault_flags: u16,
     /// Wall-clock time spent inside the hook this period, nanoseconds.
     pub hook_ns: u64,
+    /// Number of data-plane shards behind this record (0 = a
+    /// non-sharded runner).
+    pub shards: u32,
+    /// Queue length of each shard at the boundary (first
+    /// [`MAX_TRACE_SHARDS`] shards; unused slots stay 0). Their sum is
+    /// the global virtual-queue signal `q(k)` the controller consumed.
+    pub shard_queues: [u64; MAX_TRACE_SHARDS],
 }
 
 impl ControlTrace {
@@ -249,7 +264,20 @@ impl ControlTrace {
             mode: s.mode,
             fault_flags: s.fault_flags,
             hook_ns,
+            shards: 0,
+            shard_queues: [0; MAX_TRACE_SHARDS],
         }
+    }
+
+    /// Attaches the per-shard queue view of a sharded data plane: the
+    /// true shard count plus the first [`MAX_TRACE_SHARDS`] per-shard
+    /// queue lengths.
+    pub fn with_shard_queues(mut self, queues: &[u64]) -> Self {
+        self.shards = queues.len() as u32;
+        for (slot, &q) in self.shard_queues.iter_mut().zip(queues.iter()) {
+            *slot = q;
+        }
+        self
     }
 
     /// One JSON object on a single line (JSONL). `NaN` fields render as
@@ -269,6 +297,11 @@ impl ControlTrace {
                 "null".into()
             }
         }
+        let shard_queues = self.shard_queues[..(self.shards as usize).min(MAX_TRACE_SHARDS)]
+            .iter()
+            .map(|q| q.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
         format!(
             "{{\"k\":{},\"time_s\":{},\"period_s\":{},\"offered\":{},\"admitted\":{},\
              \"dropped_entry\":{},\"dropped_network\":{},\"completed\":{},\
@@ -276,7 +309,7 @@ impl ControlTrace {
              \"measured_cost_us\":{},\"mean_delay_ms\":{},\"cpu_busy_us\":{},\
              \"alpha\":{},\"shed_load_us\":{},\"y_hat_s\":{},\"error_s\":{},\
              \"u_tps\":{},\"cost_est_us\":{},\"mode\":\"{}\",\"fault_flags\":{},\
-             \"hook_ns\":{}}}",
+             \"hook_ns\":{},\"shards\":{},\"shard_queues\":[{}]}}",
             self.k,
             num(self.time_s),
             num(self.period_s),
@@ -300,21 +333,27 @@ impl ControlTrace {
             self.mode.as_str(),
             self.fault_flags,
             self.hook_ns,
+            self.shards,
+            shard_queues,
         )
     }
 
-    /// The CSV header matching [`Self::to_csv_row`].
+    /// The CSV header matching [`Self::to_csv_row`]. Per-shard queues are
+    /// flattened into `shard_q0..shard_q7` columns (0 when unused).
     pub fn csv_header() -> &'static str {
         "k,time_s,period_s,offered,admitted,dropped_entry,dropped_network,\
          completed,outstanding,queued_tuples,queued_load_us,measured_cost_us,\
          mean_delay_ms,cpu_busy_us,alpha,shed_load_us,y_hat_s,error_s,u_tps,\
-         cost_est_us,mode,fault_flags,hook_ns"
+         cost_est_us,mode,fault_flags,hook_ns,shards,\
+         shard_q0,shard_q1,shard_q2,shard_q3,shard_q4,shard_q5,shard_q6,shard_q7"
     }
 
     /// One CSV row (no trailing newline).
     pub fn to_csv_row(&self) -> String {
+        let q = &self.shard_queues;
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},\
+             {},{},{},{},{},{},{},{}",
             self.k,
             self.time_s,
             self.period_s,
@@ -338,6 +377,15 @@ impl ControlTrace {
             self.mode.as_str(),
             self.fault_flags,
             self.hook_ns,
+            self.shards,
+            q[0],
+            q[1],
+            q[2],
+            q[3],
+            q[4],
+            q[5],
+            q[6],
+            q[7],
         )
     }
 }
@@ -755,15 +803,33 @@ impl PromText {
         }
     }
 
-    fn sample(&mut self, name: &str, help: &str, kind: &str, value: f64) {
+    fn write_value(&mut self, series: &str, value: f64) {
+        use std::fmt::Write as _;
+        if value.fract() == 0.0 && value.abs() < 9e15 {
+            let _ = writeln!(self.out, "{series} {}", value as i64);
+        } else {
+            let _ = writeln!(self.out, "{series} {value}");
+        }
+    }
+
+    fn preamble(&mut self, name: &str, help: &str, kind: &str) -> String {
         use std::fmt::Write as _;
         let full = format!("{}_{name}", self.prefix);
         let _ = writeln!(self.out, "# HELP {full} {help}");
         let _ = writeln!(self.out, "# TYPE {full} {kind}");
-        if value.fract() == 0.0 && value.abs() < 9e15 {
-            let _ = writeln!(self.out, "{full} {}", value as i64);
-        } else {
-            let _ = writeln!(self.out, "{full} {value}");
+        full
+    }
+
+    fn sample(&mut self, name: &str, help: &str, kind: &str, value: f64) {
+        let full = self.preamble(name, help, kind);
+        self.write_value(&full, value);
+    }
+
+    fn sample_vec(&mut self, name: &str, help: &str, kind: &str, label: &str, values: &[f64]) {
+        let full = self.preamble(name, help, kind);
+        for (i, &value) in values.iter().enumerate() {
+            let series = format!("{full}{{{label}=\"{i}\"}}");
+            self.write_value(&series, value);
         }
     }
 
@@ -776,6 +842,21 @@ impl PromText {
     /// Appends a gauge sample.
     pub fn gauge(&mut self, name: &str, help: &str, value: f64) -> &mut Self {
         self.sample(name, help, "gauge", value);
+        self
+    }
+
+    /// Appends a labelled counter family: one `# HELP`/`# TYPE` preamble
+    /// and one `name{label="i"}` sample per element of `values` (the
+    /// label value is the element's index — e.g. the shard id).
+    pub fn counter_vec(&mut self, name: &str, help: &str, label: &str, values: &[f64]) -> &mut Self {
+        self.sample_vec(name, help, "counter", label, values);
+        self
+    }
+
+    /// Appends a labelled gauge family, one sample per element of
+    /// `values`, labelled by index.
+    pub fn gauge_vec(&mut self, name: &str, help: &str, label: &str, values: &[f64]) -> &mut Self {
+        self.sample_vec(name, help, "gauge", label, values);
         self
     }
 
@@ -956,6 +1037,47 @@ mod tests {
         assert!(text.contains("streamshed_offered_total 10"));
         assert!(text.contains("# TYPE streamshed_alpha gauge"));
         assert!(text.contains("streamshed_alpha 0.25"));
+    }
+
+    #[test]
+    fn prom_text_vec_emits_one_preamble_many_samples() {
+        let mut p = PromText::new("streamshed");
+        p.counter_vec("shard_completed_total", "Per-shard completions", "shard", &[5.0, 7.0])
+            .gauge_vec("shard_queue_len", "Per-shard queue length", "shard", &[2.0, 0.0, 9.0]);
+        let text = p.finish();
+        assert_eq!(
+            text.matches("# TYPE streamshed_shard_completed_total counter").count(),
+            1
+        );
+        assert!(text.contains("streamshed_shard_completed_total{shard=\"0\"} 5"));
+        assert!(text.contains("streamshed_shard_completed_total{shard=\"1\"} 7"));
+        assert!(text.contains("streamshed_shard_queue_len{shard=\"2\"} 9"));
+        assert_eq!(text.matches("# HELP streamshed_shard_queue_len").count(), 1);
+    }
+
+    #[test]
+    fn shard_queues_flow_through_exporters() {
+        let t = ControlTrace::capture(&snap(1), &Decision::NONE, None, 3)
+            .with_shard_queues(&[4, 0, 11]);
+        assert_eq!(t.shards, 3);
+        let line = t.to_jsonl();
+        assert!(line.contains("\"shards\":3"), "{line}");
+        assert!(line.contains("\"shard_queues\":[4,0,11]"), "{line}");
+        let row = t.to_csv_row();
+        assert_eq!(row.split(',').count(), ControlTrace::csv_header().split(',').count());
+        assert!(row.ends_with(",3,4,0,11,0,0,0,0,0"), "{row}");
+
+        // Non-sharded runs keep the fields inert.
+        let plain = ControlTrace::capture(&snap(1), &Decision::NONE, None, 3);
+        assert_eq!(plain.shards, 0);
+        assert!(plain.to_jsonl().contains("\"shard_queues\":[]"));
+
+        // More shards than the trace retains: count is truthful, the
+        // array keeps the first MAX_TRACE_SHARDS.
+        let wide = ControlTrace::capture(&snap(1), &Decision::NONE, None, 3)
+            .with_shard_queues(&[1; MAX_TRACE_SHARDS + 4]);
+        assert_eq!(wide.shards as usize, MAX_TRACE_SHARDS + 4);
+        assert_eq!(wide.shard_queues, [1; MAX_TRACE_SHARDS]);
     }
 
     #[test]

@@ -1,0 +1,300 @@
+//! Shared worker/supervisor machinery for the real-time data planes.
+//!
+//! Extracted from [`rt`](crate::rt) so the single-worker [`RtEngine`]
+//! and the sharded engine in [`shard`](crate::shard) run the *same*
+//! worker implementation: a drain loop with in-queue shed budget,
+//! per-tuple delay accounting against a target, a measured per-tuple
+//! cost EWMA (the per-shard cost model), and panic-catch-and-restart
+//! supervision that loses only the tuple being processed.
+//!
+//! [`RtEngine`]: crate::rt::RtEngine
+
+use crossbeam::channel::Receiver;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How a worker burns the per-tuple service time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CostModel {
+    /// `thread::sleep` for the service time — yields the CPU, so N
+    /// sleeping shards overlap even on one core. The right model when
+    /// the "work" stands in for I/O or a downstream call.
+    #[default]
+    Sleep,
+    /// Busy-spin for the service time — holds the CPU, so aggregate
+    /// throughput scales with *cores*, not shards. The right model for
+    /// CPU-bound operator work and for scaling benchmarks.
+    Spin,
+}
+
+/// Configuration of one supervised worker.
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// Nominal CPU work per tuple (before the headroom tax).
+    pub cost: Duration,
+    /// Headroom factor `H`: the worker inflates the per-tuple service
+    /// time by `1/H`.
+    pub headroom: f64,
+    /// Delay target for violation accounting.
+    pub target_delay: Duration,
+    /// Fault injection: panic while processing the n-th tuple this
+    /// worker sees (1-based, counted locally). The supervisor must catch
+    /// it, restart the loop, and lose only that tuple.
+    pub panic_on_tuple: Option<u64>,
+    /// How the service time is consumed.
+    pub cost_model: CostModel,
+}
+
+/// EWMA smoothing for the measured per-tuple cost (single writer — the
+/// worker thread — so a relaxed load/store pair suffices).
+const COST_EWMA_LAMBDA: f64 = 0.2;
+
+/// Per-worker counters, shared between the worker thread, the front
+/// door that feeds it, and the controller that reads it.
+///
+/// All fields are relaxed atomics: they are statistics, not
+/// synchronization. The invariant the stress tests assert is that every
+/// tuple successfully sent to the worker's queue ends up in exactly one
+/// of `completed`, `dropped_shed`, or is the single tuple lost to one of
+/// `worker_panics`.
+#[derive(Debug)]
+pub struct WorkerStats {
+    /// Tuples currently queued (incremented by the sender on a
+    /// successful send, decremented by the worker on receive).
+    pub queue_len: AtomicU64,
+    /// Tuples the worker started processing (including panicked ones).
+    pub processed: AtomicU64,
+    /// Tuples fully processed.
+    pub completed: AtomicU64,
+    /// Tuples dropped by consuming in-queue shed budget.
+    pub dropped_shed: AtomicU64,
+    /// In-queue shed budget outstanding, tuples.
+    pub shed_budget: AtomicU64,
+    /// Panics caught and recovered from (one tuple lost each).
+    pub worker_panics: AtomicU64,
+    /// Σ delay of completed tuples, µs.
+    pub delay_sum_us: AtomicU64,
+    /// Maximum observed delay, µs.
+    pub delay_max_us: AtomicU64,
+    /// Completed tuples whose delay exceeded the target.
+    pub delayed: AtomicU64,
+    /// Σ (delay − target)⁺ over completed tuples, µs.
+    pub violation_sum_us: AtomicU64,
+    /// Measured per-tuple *work* cost EWMA, µs, as f64 bits
+    /// (`NaN` until the first tuple completes). This is the worker's
+    /// local cost model; the global controller aggregates these.
+    pub cost_ewma_bits: AtomicU64,
+}
+
+impl Default for WorkerStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WorkerStats {
+    /// Fresh, all-zero counters (cost EWMA starts at `NaN`).
+    pub fn new() -> Self {
+        Self {
+            queue_len: AtomicU64::new(0),
+            processed: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            dropped_shed: AtomicU64::new(0),
+            shed_budget: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
+            delay_sum_us: AtomicU64::new(0),
+            delay_max_us: AtomicU64::new(0),
+            delayed: AtomicU64::new(0),
+            violation_sum_us: AtomicU64::new(0),
+            cost_ewma_bits: AtomicU64::new(f64::NAN.to_bits()),
+        }
+    }
+
+    /// The measured per-tuple work cost EWMA, µs (`NaN` before the first
+    /// completion).
+    pub fn cost_ewma_us(&self) -> f64 {
+        f64::from_bits(self.cost_ewma_bits.load(Ordering::Relaxed))
+    }
+
+    /// Folds one measured work-cost sample (µs) into the EWMA. Single
+    /// writer: only the worker thread calls this.
+    fn update_cost_ewma(&self, sample_us: f64) {
+        let prev = self.cost_ewma_us();
+        let next = if prev.is_finite() {
+            prev + COST_EWMA_LAMBDA * (sample_us - prev)
+        } else {
+            sample_us
+        };
+        self.cost_ewma_bits.store(next.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Atomically consumes one unit of shed budget; `true` if a unit was
+    /// available.
+    fn try_consume_shed_budget(&self) -> bool {
+        let mut budget = self.shed_budget.load(Ordering::Relaxed);
+        while budget > 0 {
+            match self.shed_budget.compare_exchange_weak(
+                budget,
+                budget - 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(b) => budget = b,
+            }
+        }
+        false
+    }
+}
+
+/// One worker lifetime: drains the queue until the channel closes.
+/// Extracted so a panicking iteration can be caught and the loop
+/// restarted without losing the receiver.
+pub fn worker_loop(stats: &WorkerStats, rx: &Receiver<Instant>, cfg: &WorkerConfig) {
+    let service = cfg.cost.mul_f64(1.0 / cfg.headroom);
+    let target_us = cfg.target_delay.as_micros() as u64;
+    while let Ok(enqueued) = rx.recv() {
+        stats.queue_len.fetch_sub(1, Ordering::Relaxed);
+        let nth = stats.processed.fetch_add(1, Ordering::Relaxed) + 1;
+        if cfg.panic_on_tuple == Some(nth) {
+            panic!("injected worker fault at tuple {nth}");
+        }
+        // In-queue shedding: consume budget instead of work.
+        if stats.try_consume_shed_budget() {
+            stats.dropped_shed.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        let t0 = Instant::now();
+        match cfg.cost_model {
+            CostModel::Sleep => std::thread::sleep(service),
+            CostModel::Spin => {
+                while t0.elapsed() < service {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+        // The measured sample is the *work* share of the service span
+        // (undo the 1/H inflation), which is what shed-budget
+        // conversions and the controller's c(k) estimator consume.
+        stats.update_cost_ewma(t0.elapsed().as_secs_f64() * cfg.headroom * 1e6);
+        let delay_us = enqueued.elapsed().as_micros() as u64;
+        stats.completed.fetch_add(1, Ordering::Relaxed);
+        stats.delay_sum_us.fetch_add(delay_us, Ordering::Relaxed);
+        stats.delay_max_us.fetch_max(delay_us, Ordering::Relaxed);
+        if delay_us > target_us {
+            stats.delayed.fetch_add(1, Ordering::Relaxed);
+            stats
+                .violation_sum_us
+                .fetch_add(delay_us - target_us, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Spawns a worker thread under panic supervision: a panic inside an
+/// iteration (e.g. an injected fault) is caught, counted in
+/// [`WorkerStats::worker_panics`], and the loop restarted with the same
+/// receiver — only the tuple being processed is lost. A clean return
+/// means the channel closed: shutdown.
+pub fn spawn_supervised(
+    stats: Arc<WorkerStats>,
+    rx: Receiver<Instant>,
+    cfg: WorkerConfig,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || loop {
+        match catch_unwind(AssertUnwindSafe(|| worker_loop(&stats, &rx, &cfg))) {
+            Ok(()) => break,
+            Err(_) => {
+                stats.worker_panics.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::bounded;
+
+    fn cfg() -> WorkerConfig {
+        WorkerConfig {
+            cost: Duration::from_micros(100),
+            headroom: 1.0,
+            target_delay: Duration::from_millis(50),
+            panic_on_tuple: None,
+            cost_model: CostModel::Sleep,
+        }
+    }
+
+    #[test]
+    fn drains_and_completes() {
+        let stats = Arc::new(WorkerStats::new());
+        let (tx, rx) = bounded(64);
+        let handle = spawn_supervised(Arc::clone(&stats), rx, cfg());
+        for _ in 0..10 {
+            tx.send(Instant::now()).unwrap();
+            stats.queue_len.fetch_add(1, Ordering::Relaxed);
+        }
+        drop(tx);
+        handle.join().unwrap();
+        assert_eq!(stats.completed.load(Ordering::Relaxed), 10);
+        assert_eq!(stats.queue_len.load(Ordering::Relaxed), 0);
+        assert!(stats.cost_ewma_us().is_finite());
+        assert!(stats.cost_ewma_us() > 50.0, "{}", stats.cost_ewma_us());
+    }
+
+    #[test]
+    fn panic_restart_loses_exactly_one_tuple() {
+        let stats = Arc::new(WorkerStats::new());
+        let (tx, rx) = bounded(64);
+        let mut c = cfg();
+        c.panic_on_tuple = Some(3);
+        let handle = spawn_supervised(Arc::clone(&stats), rx, c);
+        for _ in 0..8 {
+            tx.send(Instant::now()).unwrap();
+            stats.queue_len.fetch_add(1, Ordering::Relaxed);
+        }
+        drop(tx);
+        handle.join().unwrap();
+        assert_eq!(stats.worker_panics.load(Ordering::Relaxed), 1);
+        assert_eq!(stats.completed.load(Ordering::Relaxed), 7);
+    }
+
+    #[test]
+    fn shed_budget_consumes_instead_of_working() {
+        let stats = Arc::new(WorkerStats::new());
+        stats.shed_budget.store(5, Ordering::Relaxed);
+        let (tx, rx) = bounded(64);
+        let handle = spawn_supervised(Arc::clone(&stats), rx, cfg());
+        for _ in 0..5 {
+            tx.send(Instant::now()).unwrap();
+            stats.queue_len.fetch_add(1, Ordering::Relaxed);
+        }
+        drop(tx);
+        handle.join().unwrap();
+        assert_eq!(stats.dropped_shed.load(Ordering::Relaxed), 5);
+        assert_eq!(stats.completed.load(Ordering::Relaxed), 0);
+        assert_eq!(stats.shed_budget.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn spin_model_burns_wall_clock() {
+        let stats = Arc::new(WorkerStats::new());
+        let (tx, rx) = bounded(64);
+        let mut c = cfg();
+        c.cost_model = CostModel::Spin;
+        c.cost = Duration::from_micros(500);
+        let handle = spawn_supervised(Arc::clone(&stats), rx, c);
+        let t0 = Instant::now();
+        for _ in 0..10 {
+            tx.send(Instant::now()).unwrap();
+            stats.queue_len.fetch_add(1, Ordering::Relaxed);
+        }
+        drop(tx);
+        handle.join().unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(5));
+        assert_eq!(stats.completed.load(Ordering::Relaxed), 10);
+    }
+}

@@ -1,0 +1,220 @@
+//! Multi-thread stress tests for the real-time data planes.
+//!
+//! The point is the *accounting invariant*: under every interleaving of
+//! concurrent `offer()` calls, worker panic-restarts, hybrid entry
+//! shedding (including α changes that force skip-counter resamples),
+//! in-queue shedding, `close()`, and `shutdown()`, every offered tuple
+//! lands in exactly one outcome bucket:
+//!
+//! ```text
+//! offered == dropped_entry + rejected_closed + dispatched
+//! dispatched == completed + dropped_shed + worker_panics
+//! ```
+//!
+//! Nothing here asserts timing — only conservation.
+
+use std::time::Duration;
+
+use streamshed_engine::hook::{Decision, PeriodSnapshot};
+use streamshed_engine::rt::{RtConfig, RtEngine};
+use streamshed_engine::shard::{Dispatch, ShardConfig, ShardedEngine};
+use streamshed_engine::worker::CostModel;
+
+const OFFER_THREADS: usize = 4;
+const OFFERS_PER_THREAD: usize = 400;
+
+fn stress_cfg(shards: usize) -> ShardConfig {
+    ShardConfig {
+        shards,
+        cost: Duration::from_micros(20),
+        period: Duration::from_millis(5),
+        target_delay: Duration::from_millis(50),
+        headroom: 1.0,
+        queue_capacity: 512,
+        panic_on_tuple: None,
+        cost_model: CostModel::Sleep,
+        dispatch: Dispatch::RoundRobin,
+    }
+}
+
+/// A hook that churns the actuation every period: α toggles across the
+/// hybrid shedder's Bernoulli/skip threshold (forcing skip resamples)
+/// and every fourth period commands some in-queue shedding.
+fn churn_hook() -> impl FnMut(&PeriodSnapshot) -> Decision {
+    |snap: &PeriodSnapshot| {
+        let alpha = match snap.k % 3 {
+            0 => 0.01, // geometric-skip branch
+            1 => 0.3,  // Bernoulli branch
+            _ => 0.0,  // shedder off
+        };
+        if snap.k % 4 == 3 {
+            Decision {
+                shed_load_us: 2_000.0,
+                ..Decision::entry(alpha)
+            }
+        } else {
+            Decision::entry(alpha)
+        }
+    }
+}
+
+fn assert_sharded_balance(report: &streamshed_engine::shard::ShardReport) {
+    let dispatched: u64 = report.per_shard.iter().map(|s| s.dispatched).sum();
+    assert_eq!(
+        report.offered,
+        report.dropped_entry + report.rejected_closed + dispatched,
+        "front-door conservation: {report:?}"
+    );
+    assert_eq!(
+        dispatched,
+        report.completed + report.dropped_shed + report.worker_panics,
+        "shard conservation: {report:?}"
+    );
+    assert!(report.counters_balance(), "{report:?}");
+}
+
+#[test]
+fn sharded_offers_race_panics_and_close() {
+    // Several interleavings: close fires at a different point each round.
+    for round in 0..6u64 {
+        let mut cfg = stress_cfg(3);
+        cfg.panic_on_tuple = Some(7 + round); // every shard panics once
+        let engine = ShardedEngine::spawn_recorded(cfg, churn_hook(), None);
+
+        std::thread::scope(|s| {
+            for t in 0..OFFER_THREADS {
+                let engine = &engine;
+                s.spawn(move || {
+                    for i in 0..OFFERS_PER_THREAD {
+                        if t % 2 == 0 {
+                            engine.offer();
+                        } else {
+                            engine.offer_keyed((t * OFFERS_PER_THREAD + i) as u64);
+                        }
+                        if i % 64 == 0 {
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+            // Close the front door mid-flight, at a round-dependent point.
+            let engine = &engine;
+            s.spawn(move || {
+                std::thread::sleep(Duration::from_micros(300 * (round + 1)));
+                engine.close();
+            });
+        });
+
+        // The scope guarantees close() has returned: from here on every
+        // offer must be rejected_closed, deterministically.
+        for _ in 0..50 {
+            assert!(!engine.offer(), "offer after close must be rejected");
+        }
+
+        let report = engine.shutdown();
+        assert_eq!(
+            report.offered,
+            (OFFER_THREADS * OFFERS_PER_THREAD + 50) as u64,
+            "every offer() call is counted exactly once"
+        );
+        assert_sharded_balance(&report);
+        assert!(
+            report.rejected_closed >= 50,
+            "round {round}: the post-close offers are all rejections"
+        );
+    }
+}
+
+#[test]
+fn sharded_heavy_shedding_still_balances() {
+    // Saturate tiny queues so capacity rejections join the mix.
+    let mut cfg = stress_cfg(2);
+    cfg.queue_capacity = 16;
+    cfg.cost = Duration::from_micros(200);
+    let engine = ShardedEngine::spawn(cfg, |_s: &PeriodSnapshot| Decision::entry(0.2));
+    std::thread::scope(|s| {
+        for _ in 0..OFFER_THREADS {
+            let engine = &engine;
+            s.spawn(move || {
+                for _ in 0..OFFERS_PER_THREAD {
+                    engine.offer();
+                }
+            });
+        }
+    });
+    let report = engine.shutdown();
+    assert_eq!(report.offered, (OFFER_THREADS * OFFERS_PER_THREAD) as u64);
+    assert!(
+        report.rejected_at_capacity > 0,
+        "tiny queues must reject under burst: {report:?}"
+    );
+    assert_sharded_balance(&report);
+}
+
+#[test]
+fn sharded_shutdown_races_offers_from_scope_exit() {
+    // close() called concurrently with offers, immediately followed by
+    // shutdown — the tightest interleaving window.
+    for _ in 0..4 {
+        let engine = ShardedEngine::spawn(stress_cfg(2), churn_hook());
+        std::thread::scope(|s| {
+            for _ in 0..OFFER_THREADS {
+                let engine = &engine;
+                s.spawn(move || {
+                    for _ in 0..OFFERS_PER_THREAD {
+                        engine.offer();
+                    }
+                });
+            }
+            let engine = &engine;
+            s.spawn(move || engine.close());
+        });
+        let report = engine.shutdown();
+        assert_eq!(report.offered, (OFFER_THREADS * OFFERS_PER_THREAD) as u64);
+        assert_sharded_balance(&report);
+    }
+}
+
+#[test]
+fn rt_engine_concurrent_offers_balance_with_panic() {
+    // The single-worker engine under the same regime: concurrent offers,
+    // an injected panic-restart, hybrid shedding churn.
+    for _ in 0..4 {
+        let cfg = RtConfig {
+            cost: Duration::from_micros(20),
+            period: Duration::from_millis(5),
+            target_delay: Duration::from_millis(50),
+            headroom: 1.0,
+            queue_capacity: 2048,
+            panic_on_tuple: Some(50),
+        };
+        let engine = RtEngine::spawn(cfg, churn_hook());
+        std::thread::scope(|s| {
+            for _ in 0..OFFER_THREADS {
+                let engine = &engine;
+                s.spawn(move || {
+                    for i in 0..OFFERS_PER_THREAD {
+                        engine.offer();
+                        if i % 64 == 0 {
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+        });
+        // Let the queue drain so the conservation equation closes.
+        while engine.queue_len() > 0 {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let report = engine.shutdown();
+        assert_eq!(report.offered, (OFFER_THREADS * OFFERS_PER_THREAD) as u64);
+        assert_eq!(report.worker_panics, 1, "exactly the injected panic");
+        let admitted = report.offered - report.dropped_entry - report.rejected_closed;
+        assert_eq!(
+            admitted,
+            report.completed + report.dropped_shed + report.worker_panics,
+            "rt conservation: {report:?}"
+        );
+        assert_eq!(report.rejected_closed, 0, "no close race in this test");
+    }
+}

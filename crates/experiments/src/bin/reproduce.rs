@@ -80,8 +80,10 @@ fn main() {
                 eprintln!(
                     "usage: reproduce [--out DIR] [--seed N] [--jobs N] [fig5 fig6 fig7 \
                      fig8 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 overhead \
-                     ablations extensions faults | all]\n       \
+                     ablations extensions faults sharded | all]\n       \
                      reproduce trace --scenario KEY [--out DIR] [--seed N]\n       \
+                     sharded: wall-clock sharded-engine convergence (1 vs 4 shards); \
+                     not part of 'all'\n       \
                      --jobs N: regenerate figures on N worker threads (0 or default: \
                      one per core); results are byte-identical for any N\n       \
                      scenarios: {}",
@@ -127,7 +129,7 @@ fn main() {
             name.as_str(),
             "fig5" | "fig6" | "fig7" | "fig8" | "fig12" | "fig13" | "fig14" | "fig15"
                 | "fig16" | "fig17" | "fig18" | "fig19" | "overhead" | "ablations"
-                | "extensions" | "faults"
+                | "extensions" | "faults" | "sharded"
         );
         if !known {
             eprintln!("unknown figure '{name}', skipping");
@@ -158,6 +160,9 @@ fn main() {
             "ablations" => exp::ablations::run(seed),
             "extensions" => exp::extensions::run(seed),
             "faults" => exp::faults::run(seed),
+            // Wall-clock (not virtual-time): run explicitly, not in
+            // "all". The engine paces itself; --seed has no effect.
+            "sharded" => exp::sharded::run(),
             other => unreachable!("unknown figure '{other}' survived filtering"),
         };
         (fig, start.elapsed())

@@ -23,8 +23,11 @@
 //! | [`overhead`] | §5.1 controller computational overhead |
 //!
 //! Beyond the paper's figures, [`faults`] runs the robustness fault
-//! matrix and [`trace`] replays one of its scenarios with the full
-//! telemetry stack engaged (`reproduce trace --scenario <key>`).
+//! matrix, [`trace`] replays one of its scenarios with the full
+//! telemetry stack engaged (`reproduce trace --scenario <key>`), and
+//! [`sharded`] demonstrates delay convergence on the wall-clock sharded
+//! data plane (`reproduce sharded`; excluded from `all` because it is
+//! wall-clock rather than virtual-time).
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -48,6 +51,7 @@ pub mod overhead;
 pub mod parallel;
 pub mod render;
 pub mod runner;
+pub mod sharded;
 pub mod trace;
 
 pub use render::{render_ascii_chart, render_table};
