@@ -199,6 +199,24 @@ impl<S: SheddingStrategy + Clone> Supervisor<S> {
         &self.events
     }
 
+    /// Mode transitions translated to the telemetry-level [`LoopMode`] —
+    /// the form the observability plane's diagnostics consume, so
+    /// supervisor hold/fallback interventions surface as diagnostic
+    /// events without the consumer depending on supervisor internals.
+    pub fn diagnostic_events(&self) -> Vec<(u64, LoopMode)> {
+        self.events
+            .iter()
+            .map(|e| {
+                let mode = match e.entered {
+                    SupervisorMode::Engaged => LoopMode::Engaged,
+                    SupervisorMode::Hold => LoopMode::Hold,
+                    SupervisorMode::Fallback => LoopMode::Fallback,
+                };
+                (e.k, mode)
+            })
+            .collect()
+    }
+
     /// The wrapped strategy.
     pub fn inner(&self) -> &S {
         &self.inner
@@ -577,6 +595,14 @@ mod tests {
             modes,
             vec![SupervisorMode::Fallback, SupervisorMode::Engaged]
         );
+        // And surface in telemetry terms for the observability plane,
+        // with the period indices preserved.
+        let diag = sup.diagnostic_events();
+        assert_eq!(diag.len(), 2);
+        assert_eq!(diag[0].1, LoopMode::Fallback);
+        assert_eq!(diag[1].1, LoopMode::Engaged);
+        assert_eq!(diag[0].0, sup.events()[0].k);
+        assert!(diag[0].0 < diag[1].0, "transition order preserved");
     }
 
     #[test]

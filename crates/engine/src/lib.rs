@@ -32,11 +32,14 @@
 
 pub mod cost;
 pub mod describe;
+pub mod diagnostics;
 pub mod faults;
+pub mod flight;
 pub mod hook;
 pub mod metrics;
 pub mod network;
 pub mod networks;
+pub mod obs;
 pub mod operator;
 pub mod rng;
 pub mod rt;
@@ -47,7 +50,13 @@ pub mod time;
 pub mod tuple;
 pub mod worker;
 
+pub use diagnostics::{
+    ControllerHealth, DiagEvent, DiagnosticsConfig, DiagnosticsSnapshot, HealthState,
+    SharedDiagnostics,
+};
 pub use faults::{FaultKind, FaultLog, FaultPlan, FaultWindow, FaultyHook};
+pub use flight::{FlightConfig, FlightRecorder};
+pub use obs::{http_get, HttpConfig, ObsHandle, ObsOptions, ObsPlane, ObsServer};
 pub use hook::{ControlHook, Decision, NoShedding, PeriodSnapshot};
 pub use metrics::{DelayStats, RunReport};
 pub use network::{NetworkBuilder, NodeId, QueryNetwork};

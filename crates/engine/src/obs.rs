@@ -1,0 +1,681 @@
+//! Embedded observability endpoint: a dependency-free HTTP server plus
+//! the plane that feeds it.
+//!
+//! [`ObsPlane`] is an [`EventSink`] that fans each per-period
+//! [`ControlTrace`] into three consumers:
+//!
+//! 1. a [`SharedRecorder`] trace ring (served by `/trace`),
+//! 2. a [`SharedDiagnostics`] controller-health engine (served by
+//!    `/health`, `/ready`, and the `streamshed_diag_*` metric families),
+//! 3. optionally a [`FlightRecorder`] — on a transition *into* an
+//!    anomalous state the plane snapshots the ring + diagnostics to a
+//!    JSONL bundle on disk.
+//!
+//! [`ObsServer`] is a deliberately small HTTP/1.0-style server on
+//! [`std::net::TcpListener`]: one supervised accept thread, connections
+//! handled serially (inherently bounded), per-connection read timeout,
+//! request size cap, graceful shutdown by flag + self-connect. It serves:
+//!
+//! | endpoint | contract |
+//! |---|---|
+//! | `GET /metrics` | Prometheus text (engine counters + diagnostics families), always 200 |
+//! | `GET /health` | [`DiagnosticsSnapshot`] JSON; **503 while `Diverging`**, 200 otherwise |
+//! | `GET /ready` | `{"ready":…}`; 503 until the first control period has been observed |
+//! | `GET /trace?last=N` | JSON array of the newest `N` ring records (default 64) |
+//!
+//! Anything else is 404; non-GET methods are 405. The server never
+//! panics the process: per-connection handling runs under
+//! `catch_unwind`.
+//!
+//! The engines ([`RtEngine`](crate::rt::RtEngine),
+//! [`ShardedEngine`](crate::shard::ShardedEngine)) wire all of this up
+//! behind an opt-in [`ObsOptions`] — see their `spawn_observed`
+//! constructors.
+
+use crate::diagnostics::{DiagnosticsConfig, DiagnosticsSnapshot, SharedDiagnostics};
+use crate::flight::{FlightConfig, FlightRecorder};
+use crate::telemetry::{ControlTrace, EventSink, SharedRecorder, SpanKind};
+use parking_lot::Mutex;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+// ---------------------------------------------------------------------------
+// Options
+// ---------------------------------------------------------------------------
+
+/// HTTP server tuning.
+#[derive(Debug, Clone)]
+pub struct HttpConfig {
+    /// Bind address. Default `127.0.0.1:0` (loopback, OS-chosen port —
+    /// read the real one from [`ObsServer::addr`]).
+    pub addr: String,
+    /// Per-connection read/write timeout (a stalled client cannot hold
+    /// the serial accept loop hostage for longer than this).
+    pub io_timeout: Duration,
+    /// Maximum bytes of request head read before the connection is
+    /// rejected with 431.
+    pub max_request_bytes: usize,
+}
+
+impl Default for HttpConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            io_timeout: Duration::from_millis(500),
+            max_request_bytes: 8 * 1024,
+        }
+    }
+}
+
+/// Opt-in observability configuration for the engines' `spawn_observed`
+/// constructors.
+#[derive(Debug, Clone)]
+pub struct ObsOptions {
+    /// HTTP endpoint; `None` runs diagnostics + flight recording without
+    /// a server.
+    pub http: Option<HttpConfig>,
+    /// Controller-health diagnostics tuning.
+    pub diagnostics: DiagnosticsConfig,
+    /// Capacity of the trace ring behind `/trace` and the flight
+    /// recorder.
+    pub trace_capacity: usize,
+    /// Anomaly flight recorder; `None` disables bundle writing.
+    pub flight: Option<FlightConfig>,
+}
+
+impl ObsOptions {
+    /// Defaults for a delay target: HTTP on loopback, diagnostics tuned
+    /// by [`DiagnosticsConfig::for_target`], a 1024-period ring, no
+    /// flight recorder.
+    pub fn for_target(target_delay: Duration) -> Self {
+        Self {
+            http: Some(HttpConfig::default()),
+            diagnostics: DiagnosticsConfig::for_target(target_delay),
+            trace_capacity: 1024,
+            flight: None,
+        }
+    }
+
+    /// Adds an anomaly flight recorder writing into `dir`.
+    pub fn with_flight_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.flight = Some(FlightConfig::new(dir));
+        self
+    }
+
+    /// Replaces the HTTP configuration (e.g. to pin a port).
+    pub fn with_http_addr(mut self, addr: impl Into<String>) -> Self {
+        let mut http = self.http.unwrap_or_default();
+        http.addr = addr.into();
+        self.http = Some(http);
+        self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ObsPlane
+// ---------------------------------------------------------------------------
+
+/// The cloneable hub the engines feed per period and the HTTP endpoints
+/// read. See the module docs for the fan-out.
+#[derive(Debug, Clone)]
+pub struct ObsPlane {
+    recorder: SharedRecorder,
+    diagnostics: SharedDiagnostics,
+    flight: Option<Arc<Mutex<FlightRecorder>>>,
+    periods: Arc<AtomicU64>,
+}
+
+impl ObsPlane {
+    /// Builds the plane from options (ignores `options.http`; the server
+    /// is started separately so the plane works headless).
+    pub fn new(options: &ObsOptions) -> Self {
+        Self {
+            recorder: SharedRecorder::with_capacity(options.trace_capacity),
+            diagnostics: SharedDiagnostics::new(options.diagnostics.clone()),
+            flight: options
+                .flight
+                .clone()
+                .map(|cfg| Arc::new(Mutex::new(FlightRecorder::new(cfg)))),
+            periods: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// The trace ring (e.g. to export after a run).
+    pub fn recorder(&self) -> &SharedRecorder {
+        &self.recorder
+    }
+
+    /// The controller-health engine.
+    pub fn diagnostics(&self) -> &SharedDiagnostics {
+        &self.diagnostics
+    }
+
+    /// Current health verdict.
+    pub fn health(&self) -> DiagnosticsSnapshot {
+        self.diagnostics.snapshot()
+    }
+
+    /// Flight bundles written so far (0 when no recorder is attached).
+    pub fn flight_bundles_written(&self) -> u64 {
+        self.flight
+            .as_ref()
+            .map(|f| f.lock().bundles_written())
+            .unwrap_or(0)
+    }
+
+    /// Control periods observed (drives `/ready`).
+    pub fn periods_observed(&self) -> u64 {
+        self.periods.load(Ordering::Relaxed)
+    }
+
+    fn on_trace(&self, trace: &ControlTrace) {
+        let mut rec = self.recorder.clone();
+        rec.record(trace);
+        let transition = self.diagnostics.observe(trace);
+        self.periods.fetch_add(1, Ordering::Relaxed);
+        if let Some((_, to)) = transition {
+            if to.is_anomalous() {
+                if let Some(flight) = &self.flight {
+                    let snap = self.diagnostics.snapshot();
+                    let traces = self.recorder.snapshot();
+                    flight.lock().record_transition(trace.k, to, &snap, &traces);
+                }
+            }
+        }
+    }
+}
+
+impl EventSink for ObsPlane {
+    fn record(&mut self, trace: &ControlTrace) {
+        self.on_trace(trace);
+    }
+
+    fn record_span(&mut self, kind: SpanKind, nanos: u64) {
+        let mut rec = self.recorder.clone();
+        rec.record_span(kind, nanos);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// HTTP server
+// ---------------------------------------------------------------------------
+
+/// Renders the `/metrics` body. The engines capture their own counters
+/// in this closure (and append the diagnostics families), so the server
+/// stays dumb.
+pub type MetricsFn = Arc<dyn Fn() -> String + Send + Sync>;
+
+/// The embedded HTTP endpoint. Owns one accept thread; dropped or
+/// [`ObsServer::stop`]ped, it shuts the thread down gracefully.
+#[derive(Debug)]
+pub struct ObsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<thread::JoinHandle<()>>,
+}
+
+impl ObsServer {
+    /// Binds `cfg.addr` and starts serving `plane` (with `metrics`
+    /// rendering the `/metrics` body). Fails only on bind errors.
+    pub fn start(cfg: HttpConfig, plane: ObsPlane, metrics: MetricsFn) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(cfg.addr.as_str())?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_t = Arc::clone(&stop);
+        let thread = thread::Builder::new()
+            .name("streamshed-obs".into())
+            .spawn(move || accept_loop(listener, cfg, plane, metrics, stop_t))
+            .expect("spawn obs thread");
+        Ok(Self {
+            addr,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (with the OS-chosen port resolved).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Graceful shutdown: flags the accept loop, wakes it with a
+    /// self-connection, joins the thread. Idempotent.
+    pub fn stop(&mut self) {
+        if self.thread.is_none() {
+            return;
+        }
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept; a failed connect means the listener
+        // is already gone.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ObsServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    cfg: HttpConfig,
+    plane: ObsPlane,
+    metrics: MetricsFn,
+    stop: Arc<AtomicBool>,
+) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        // Supervised: a panic in request handling must not kill the
+        // endpoint for the rest of the run.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            handle_connection(stream, &cfg, &plane, &metrics)
+        }));
+        if result.is_err() {
+            // Swallow and keep serving; the next scrape still works.
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, cfg: &HttpConfig, plane: &ObsPlane, metrics: &MetricsFn) {
+    let _ = stream.set_read_timeout(Some(cfg.io_timeout));
+    let _ = stream.set_write_timeout(Some(cfg.io_timeout));
+    let head = match read_request_head(&mut stream, cfg.max_request_bytes) {
+        Ok(h) => h,
+        Err(status) => {
+            respond(&mut stream, status, "text/plain", status_text(status));
+            return;
+        }
+    };
+    let mut parts = head.split_whitespace();
+    let (method, target) = match (parts.next(), parts.next()) {
+        (Some(m), Some(t)) => (m, t),
+        _ => {
+            respond(&mut stream, 400, "text/plain", "bad request");
+            return;
+        }
+    };
+    if method != "GET" {
+        respond(&mut stream, 405, "text/plain", "method not allowed");
+        return;
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    match path {
+        "/metrics" => {
+            let body = metrics();
+            respond(
+                &mut stream,
+                200,
+                "text/plain; version=0.0.4; charset=utf-8",
+                &body,
+            );
+        }
+        "/health" => {
+            let snap = plane.health();
+            respond(&mut stream, snap.http_status(), "application/json", &snap.to_json());
+        }
+        "/ready" => {
+            let periods = plane.periods_observed();
+            let ready = periods > 0;
+            let status = if ready { 200 } else { 503 };
+            let body = format!("{{\"ready\":{ready},\"periods\":{periods}}}");
+            respond(&mut stream, status, "application/json", &body);
+        }
+        "/trace" => {
+            let last = query_param(query, "last")
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or(64);
+            let traces = plane.recorder().snapshot();
+            let skip = traces.len().saturating_sub(last);
+            let body = {
+                let mut out = String::from("[");
+                for (i, t) in traces[skip..].iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&t.to_jsonl());
+                }
+                out.push(']');
+                out
+            };
+            respond(&mut stream, 200, "application/json", &body);
+        }
+        _ => respond(&mut stream, 404, "text/plain", "not found"),
+    }
+}
+
+/// Reads the request head (through the blank line), returning the
+/// request line. Errors map to an HTTP status.
+fn read_request_head(stream: &mut TcpStream, max_bytes: usize) -> Result<String, u16> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.windows(2).any(|w| w == b"\n\n") {
+            break;
+        }
+        if buf.len() >= max_bytes {
+            return Err(431);
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(_) => return Err(408),
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let line = head.lines().next().unwrap_or("").to_string();
+    if line.is_empty() {
+        Err(400)
+    } else {
+        Ok(line)
+    }
+}
+
+fn query_param<'a>(query: &'a str, key: &str) -> Option<&'a str> {
+    query
+        .split('&')
+        .filter_map(|kv| kv.split_once('='))
+        .find(|(k, _)| *k == key)
+        .map(|(_, v)| v)
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "bad request",
+        404 => "not found",
+        405 => "method not allowed",
+        408 => "request timeout",
+        431 => "request head too large",
+        503 => "service unavailable",
+        _ => "error",
+    }
+}
+
+fn respond(stream: &mut TcpStream, status: u16, content_type: &str, body: &str) {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        431 => "Request Header Fields Too Large",
+        503 => "Service Unavailable",
+        _ => "Error",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+// ---------------------------------------------------------------------------
+// Minimal client (experiments, tests, CI smoke)
+// ---------------------------------------------------------------------------
+
+/// One blocking `GET` against an [`ObsServer`] (or anything speaking
+/// HTTP/1.x), returning `(status, body)`. Deliberately minimal — just
+/// enough for the self-monitoring experiment and the CI smoke test.
+pub fn http_get(addr: SocketAddr, path: &str, timeout: Duration) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let status = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line"))?;
+    let body = raw
+        .split_once("\r\n\r\n")
+        .or_else(|| raw.split_once("\n\n"))
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, body))
+}
+
+/// The observability attachment an engine holds when spawned observed:
+/// the plane plus the optional HTTP server.
+#[derive(Debug)]
+pub struct ObsHandle {
+    /// The plane the engine's tracing seam feeds.
+    pub plane: ObsPlane,
+    server: Option<ObsServer>,
+}
+
+impl ObsHandle {
+    /// Builds the plane and (if configured) starts the HTTP server with
+    /// the given `/metrics` renderer.
+    pub fn start(options: &ObsOptions, metrics: MetricsFn) -> std::io::Result<Self> {
+        let plane = ObsPlane::new(options);
+        let server = match &options.http {
+            Some(http) => Some(ObsServer::start(http.clone(), plane.clone(), metrics)?),
+            None => None,
+        };
+        Ok(Self { plane, server })
+    }
+
+    /// Assembles a handle from an existing plane and server — for
+    /// engines that must build the plane first (the traced hook captures
+    /// it) and the server last (its `/metrics` closure captures engine
+    /// internals that exist only after spawn).
+    pub fn from_parts(plane: ObsPlane, server: Option<ObsServer>) -> Self {
+        Self { plane, server }
+    }
+
+    /// The HTTP address, when a server is running.
+    pub fn addr(&self) -> Option<SocketAddr> {
+        self.server.as_ref().map(|s| s.addr())
+    }
+
+    /// Stops the HTTP server (the plane keeps working). Idempotent.
+    pub fn stop(&mut self) {
+        if let Some(s) = &mut self.server {
+            s.stop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostics::HealthState;
+    use crate::hook::{Decision, PeriodSnapshot};
+    use crate::telemetry::PromText;
+    use crate::time::{secs, SimTime};
+
+    const TARGET: f64 = 2.0;
+
+    fn options() -> ObsOptions {
+        ObsOptions::for_target(Duration::from_secs(2))
+    }
+
+    fn trace(k: u64, y_s: f64, alpha: f64) -> ControlTrace {
+        let snap = PeriodSnapshot {
+            k,
+            now: SimTime::ZERO + secs(k + 1),
+            period: secs(1),
+            offered: 100,
+            admitted: 90,
+            dropped_entry: 10,
+            dropped_network: 0,
+            completed: 80,
+            outstanding: 10,
+            queued_tuples: 10,
+            queued_load_us: 1000.0,
+            measured_cost_us: Some(100.0),
+            mean_delay_ms: Some(y_s * 1e3),
+            cpu_busy_us: 900_000,
+        };
+        let mut t = ControlTrace::capture(&snap, &Decision::entry(alpha), None, 100);
+        t.y_hat_s = y_s;
+        t.error_s = TARGET - y_s;
+        t
+    }
+
+    fn start_server(plane: &ObsPlane) -> ObsServer {
+        let metrics_plane = plane.clone();
+        let metrics: MetricsFn = Arc::new(move || {
+            let mut p = PromText::new("streamshed");
+            p.counter("obs_test_scrapes_total", "test counter", 1.0);
+            metrics_plane.health().render_prom(&mut p);
+            p.finish()
+        });
+        ObsServer::start(HttpConfig::default(), plane.clone(), metrics).expect("bind")
+    }
+
+    #[test]
+    fn endpoints_serve_metrics_health_ready_trace() {
+        let plane = ObsPlane::new(&options());
+        let mut server = start_server(&plane);
+        let addr = server.addr();
+        let t = Duration::from_secs(2);
+
+        // Not ready before the first period.
+        let (status, body) = http_get(addr, "/ready", t).unwrap();
+        assert_eq!(status, 503);
+        assert!(body.contains("\"ready\":false"), "{body}");
+
+        let mut sink = plane.clone();
+        for k in 0..10 {
+            sink.record(&trace(k, TARGET, 0.3));
+        }
+
+        let (status, body) = http_get(addr, "/ready", t).unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("\"ready\":true"));
+
+        let (status, body) = http_get(addr, "/health", t).unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("\"state\":\"healthy\""), "{body}");
+
+        let (status, body) = http_get(addr, "/metrics", t).unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("# TYPE streamshed_diag_state gauge"), "{body}");
+        assert!(body.contains("streamshed_obs_test_scrapes_total 1"));
+
+        let (status, body) = http_get(addr, "/trace?last=3", t).unwrap();
+        assert_eq!(status, 200);
+        assert!(body.starts_with('[') && body.ends_with(']'), "{body}");
+        assert_eq!(body.matches("\"k\":").count(), 3, "{body}");
+        assert!(body.contains("\"k\":9"), "newest retained: {body}");
+        assert!(!body.contains("\"k\":6"), "older trimmed: {body}");
+
+        let (status, _) = http_get(addr, "/nope", t).unwrap();
+        assert_eq!(status, 404);
+
+        server.stop();
+        // Stopped server refuses (or resets) new connections.
+        assert!(http_get(addr, "/health", Duration::from_millis(300)).is_err());
+    }
+
+    #[test]
+    fn health_turns_503_on_divergence() {
+        let plane = ObsPlane::new(&options());
+        let mut server = start_server(&plane);
+        let addr = server.addr();
+        let mut sink = plane.clone();
+        for k in 0..20 {
+            sink.record(&trace(k, 3.0 * TARGET, 0.5));
+        }
+        let (status, body) = http_get(addr, "/health", Duration::from_secs(2)).unwrap();
+        assert_eq!(status, 503);
+        assert!(body.contains("\"state\":\"diverging\""), "{body}");
+        server.stop();
+    }
+
+    #[test]
+    fn hostile_requests_do_not_kill_the_server() {
+        let plane = ObsPlane::new(&options());
+        let mut server = start_server(&plane);
+        let addr = server.addr();
+        let t = Duration::from_secs(2);
+
+        // Oversized head.
+        {
+            let mut s = TcpStream::connect_timeout(&addr, t).unwrap();
+            let junk = vec![b'a'; 32 * 1024];
+            let _ = s.write_all(&junk);
+            let mut out = String::new();
+            let _ = s.read_to_string(&mut out);
+        }
+        // Garbage, then immediate close.
+        {
+            let mut s = TcpStream::connect_timeout(&addr, t).unwrap();
+            let _ = s.write_all(b"\x00\xff\x00\xff");
+        }
+        // Wrong method.
+        {
+            let mut s = TcpStream::connect_timeout(&addr, t).unwrap();
+            let _ = s.write_all(b"POST /metrics HTTP/1.1\r\n\r\n");
+            let mut out = String::new();
+            let _ = s.read_to_string(&mut out);
+            assert!(out.starts_with("HTTP/1.1 405"), "{out}");
+        }
+        // Still serving.
+        let (status, _) = http_get(addr, "/metrics", t).unwrap();
+        assert_eq!(status, 200);
+        server.stop();
+    }
+
+    #[test]
+    fn plane_writes_flight_bundle_on_anomalous_transition() {
+        let dir = std::env::temp_dir().join(format!("streamshed_obs_flight_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let plane = ObsPlane::new(&options().with_flight_dir(&dir));
+        let mut sink = plane.clone();
+        // Saturation scenario: pinned high while violating.
+        for k in 0..6 {
+            sink.record(&trace(k, 2.0 * TARGET, 1.0));
+        }
+        assert_eq!(plane.health().state, HealthState::Saturated);
+        assert_eq!(plane.flight_bundles_written(), 1);
+        let bundles = crate::flight::list_bundles(&dir);
+        assert_eq!(bundles.len(), 1);
+        let body = std::fs::read_to_string(&bundles[0]).unwrap();
+        let header = body.lines().next().unwrap();
+        assert!(header.contains("\"state\":\"saturated\""));
+        // The bundle snapshots the ring at the transition (period k=2,
+        // when the pinned streak reaches 3): header + 3 traces.
+        assert!(header.contains("\"traces\":3"), "{header}");
+        assert_eq!(body.lines().count(), 4);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn obs_handle_headless_and_with_server() {
+        let mut opts = options();
+        opts.http = None;
+        let metrics: MetricsFn = Arc::new(String::new);
+        let mut headless = ObsHandle::start(&opts, Arc::clone(&metrics)).unwrap();
+        assert!(headless.addr().is_none());
+        headless.stop();
+
+        let served = ObsHandle::start(&options(), metrics).unwrap();
+        assert!(served.addr().is_some());
+    }
+}

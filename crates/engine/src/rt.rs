@@ -25,8 +25,9 @@
 //! overran.
 
 use crate::hook::{ControlHook, PeriodSnapshot};
+use crate::obs::{MetricsFn, ObsHandle, ObsOptions, ObsServer};
 use crate::rng::AtomicShedder;
-use crate::telemetry::{PromText, Ring};
+use crate::telemetry::{InstrumentedHook, PromText, Ring, TracingHook};
 use crate::time::{SimDuration, SimTime};
 use crate::worker::{spawn_supervised, CostModel, WorkerConfig, WorkerStats};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
@@ -179,6 +180,7 @@ pub struct RtEngine {
     worker: Option<JoinHandle<()>>,
     controller: Option<JoinHandle<()>>,
     cfg: RtConfig,
+    obs: Option<ObsHandle>,
 }
 
 impl RtEngine {
@@ -279,7 +281,47 @@ impl RtEngine {
             worker: Some(worker),
             controller: Some(controller),
             cfg,
+            obs: None,
         }
+    }
+
+    /// Spawns the engine with the live observability plane attached:
+    /// the hook is wrapped in a [`TracingHook`] feeding an
+    /// [`ObsPlane`](crate::obs::ObsPlane) (trace ring + controller-health
+    /// diagnostics + optional flight recorder), and — when
+    /// `options.http` is set — an HTTP server serving `/metrics`,
+    /// `/health`, `/ready` and `/trace` for this engine. Fails only if
+    /// the HTTP bind fails.
+    pub fn spawn_observed<H>(cfg: RtConfig, hook: H, options: &ObsOptions) -> std::io::Result<Self>
+    where
+        H: InstrumentedHook + Send + 'static,
+    {
+        let plane = crate::obs::ObsPlane::new(options);
+        let traced = TracingHook::with_sink(hook, plane.clone());
+        let mut engine = Self::spawn(cfg, traced);
+        let server = match &options.http {
+            Some(http) => {
+                let shared = Arc::clone(&engine.shared);
+                let work = Arc::clone(&engine.work);
+                let diag_plane = plane.clone();
+                let metrics: MetricsFn = Arc::new(move || {
+                    let mut p = PromText::new("streamshed");
+                    render_prometheus(&shared, &work, &mut p);
+                    diag_plane.health().render_prom(&mut p);
+                    p.finish()
+                });
+                Some(ObsServer::start(http.clone(), plane.clone(), metrics)?)
+            }
+            None => None,
+        };
+        engine.obs = Some(ObsHandle::from_parts(plane, server));
+        Ok(engine)
+    }
+
+    /// The observability attachment, when spawned via
+    /// [`RtEngine::spawn_observed`].
+    pub fn obs(&self) -> Option<&ObsHandle> {
+        self.obs.as_ref()
     }
 
     /// Offers one tuple. Returns `false` if the entry shedder dropped it,
@@ -334,14 +376,24 @@ impl RtEngine {
     /// reads are relaxed atomics, so the snapshot is cheap and
     /// non-blocking.
     pub fn prometheus_text(&self) -> String {
-        let s = &self.shared;
-        let w = &self.work;
-        let completed = w.completed.load(Ordering::Relaxed);
-        let delay_sum_us = w.delay_sum_us.load(Ordering::Relaxed);
-        let periods = s.periods.load(Ordering::Relaxed);
-        let hook_total = s.hook_ns_total.load(Ordering::Relaxed);
         let mut p = PromText::new("streamshed");
-        p.counter(
+        render_prometheus(&self.shared, &self.work, &mut p);
+        if let Some(obs) = &self.obs {
+            obs.plane.health().render_prom(&mut p);
+        }
+        p.finish()
+    }
+}
+
+/// Renders the engine's counter/gauge families into `p` — shared by
+/// [`RtEngine::prometheus_text`] and the observed-mode `/metrics`
+/// closure (which captures the same atomics without the engine handle).
+fn render_prometheus(s: &Shared, w: &WorkerStats, p: &mut PromText) {
+    let completed = w.completed.load(Ordering::Relaxed);
+    let delay_sum_us = w.delay_sum_us.load(Ordering::Relaxed);
+    let periods = s.periods.load(Ordering::Relaxed);
+    let hook_total = s.hook_ns_total.load(Ordering::Relaxed);
+    p.counter(
             "offered_total",
             "Tuples offered to the engine",
             s.offered.load(Ordering::Relaxed) as f64,
@@ -427,9 +479,9 @@ impl RtEngine {
             "Maximum observed delay, milliseconds",
             w.delay_max_us.load(Ordering::Relaxed) as f64 / 1e3,
         );
-        p.finish()
-    }
+}
 
+impl RtEngine {
     /// Stops the engine, joins both threads, and returns the final report.
     pub fn shutdown(mut self) -> RtReport {
         self.shared.stop.store(true, Ordering::Relaxed);
@@ -439,6 +491,9 @@ impl RtEngine {
         }
         if let Some(c) = self.controller.take() {
             let _ = c.join();
+        }
+        if let Some(mut o) = self.obs.take() {
+            o.stop();
         }
         let s = &self.shared;
         let w = &self.work;
@@ -480,6 +535,9 @@ impl Drop for RtEngine {
         }
         if let Some(c) = self.controller.take() {
             let _ = c.join();
+        }
+        if let Some(mut o) = self.obs.take() {
+            o.stop();
         }
     }
 }
@@ -708,6 +766,52 @@ mod tests {
         assert_eq!(samples, types);
         let report = engine.shutdown();
         assert_eq!(report.completed, 40);
+    }
+
+    #[test]
+    fn observed_engine_serves_live_endpoints() {
+        use crate::obs::http_get;
+        let cfg = RtConfig {
+            cost: Duration::from_micros(200),
+            period: Duration::from_millis(20),
+            target_delay: Duration::from_millis(100),
+            headroom: 1.0,
+            queue_capacity: 4096,
+            panic_on_tuple: None,
+        };
+        let options = ObsOptions::for_target(cfg.target_delay);
+        let engine = RtEngine::spawn_observed(cfg, NoShedding, &options).unwrap();
+        let addr = engine.obs().unwrap().addr().expect("http enabled");
+        for _ in 0..100 {
+            engine.offer();
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        std::thread::sleep(Duration::from_millis(80));
+        let t = Duration::from_secs(2);
+
+        let (status, body) = http_get(addr, "/metrics", t).unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("streamshed_offered_total 100"), "{body}");
+        assert!(body.contains("# TYPE streamshed_diag_state gauge"), "{body}");
+
+        let (status, body) = http_get(addr, "/health", t).unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("\"state\":"), "{body}");
+
+        let (status, _) = http_get(addr, "/ready", t).unwrap();
+        assert_eq!(status, 200, "periods have elapsed");
+
+        let (status, body) = http_get(addr, "/trace?last=5", t).unwrap();
+        assert_eq!(status, 200);
+        assert!(body.starts_with('[') && body.contains("\"alpha\":"), "{body}");
+
+        // The in-process snapshot carries the diagnostics families too.
+        assert!(engine.prometheus_text().contains("streamshed_diag_state"));
+
+        let report = engine.shutdown();
+        assert_eq!(report.offered, 100);
+        // Server is down after shutdown.
+        assert!(http_get(addr, "/health", Duration::from_millis(300)).is_err());
     }
 
     #[test]

@@ -34,8 +34,9 @@
 //! worker panic loses exactly the tuple being processed.
 
 use crate::hook::PeriodSnapshot;
+use crate::obs::{MetricsFn, ObsHandle, ObsOptions, ObsPlane, ObsServer};
 use crate::rng::AtomicShedder;
-use crate::telemetry::{ControlTrace, InstrumentedHook, PromText, SharedRecorder};
+use crate::telemetry::{ControlTrace, EventSink, InstrumentedHook, PromText, SharedRecorder};
 use crate::time::{SimDuration, SimTime};
 use crate::worker::{spawn_supervised, CostModel, WorkerConfig, WorkerStats};
 use crossbeam::channel::{bounded, Sender, TrySendError};
@@ -114,9 +115,29 @@ struct Shard {
     /// race-free: after `close()` returns, no offer can sneak a tuple
     /// into a queue nobody will drain, so the balance invariant is exact.
     tx: RwLock<Option<Sender<Instant>>>,
-    /// Tuples successfully sent to this shard's queue.
-    dispatched: AtomicU64,
+    /// Tuples successfully sent to this shard's queue. `Arc` so the
+    /// observed-mode `/metrics` closure can read it without borrowing
+    /// the engine.
+    dispatched: Arc<AtomicU64>,
     handle: Option<JoinHandle<()>>,
+}
+
+/// The cloneable per-shard counters the Prometheus renderer reads —
+/// shared between [`ShardedEngine::prometheus_text`] and the
+/// observed-mode HTTP `/metrics` closure.
+#[derive(Clone)]
+struct ShardView {
+    stats: Arc<WorkerStats>,
+    dispatched: Arc<AtomicU64>,
+}
+
+impl Shard {
+    fn view(&self) -> ShardView {
+        ShardView {
+            stats: Arc::clone(&self.stats),
+            dispatched: Arc::clone(&self.dispatched),
+        }
+    }
 }
 
 /// Front-door and controller counters shared across threads.
@@ -234,6 +255,7 @@ pub struct ShardedEngine {
     shards: Vec<Shard>,
     controller: Option<JoinHandle<()>>,
     cfg: ShardConfig,
+    obs: Option<ObsHandle>,
 }
 
 impl ShardedEngine {
@@ -251,11 +273,62 @@ impl ShardedEngine {
     /// `recorder`.
     pub fn spawn_recorded<H>(
         cfg: ShardConfig,
-        mut hook: H,
+        hook: H,
         recorder: Option<SharedRecorder>,
     ) -> Self
     where
         H: InstrumentedHook + Send + 'static,
+    {
+        Self::spawn_sink(cfg, hook, recorder)
+    }
+
+    /// Spawns the engine with the live observability plane attached: the
+    /// per-period [`ControlTrace`] stream (with per-shard queue lengths)
+    /// feeds an [`ObsPlane`] — trace ring, controller-health diagnostics,
+    /// optional anomaly flight recorder — and, when `options.http` is
+    /// set, an HTTP server answers `/metrics`, `/health`, `/ready` and
+    /// `/trace` for this engine. Fails only if the HTTP bind fails.
+    pub fn spawn_observed<H>(
+        cfg: ShardConfig,
+        hook: H,
+        options: &ObsOptions,
+    ) -> std::io::Result<Self>
+    where
+        H: InstrumentedHook + Send + 'static,
+    {
+        let plane = ObsPlane::new(options);
+        let mut engine = Self::spawn_sink(cfg, hook, Some(plane.clone()));
+        let server = match &options.http {
+            Some(http) => {
+                let global = Arc::clone(&engine.global);
+                let views: Vec<ShardView> = engine.shards.iter().map(|s| s.view()).collect();
+                let diag_plane = plane.clone();
+                let metrics: MetricsFn = Arc::new(move || {
+                    let mut p = PromText::new("streamshed");
+                    render_prometheus(&global, &views, &mut p);
+                    diag_plane.health().render_prom(&mut p);
+                    p.finish()
+                });
+                Some(ObsServer::start(http.clone(), plane.clone(), metrics)?)
+            }
+            None => None,
+        };
+        engine.obs = Some(ObsHandle::from_parts(plane, server));
+        Ok(engine)
+    }
+
+    /// The observability attachment, when spawned via
+    /// [`ShardedEngine::spawn_observed`].
+    pub fn obs(&self) -> Option<&ObsHandle> {
+        self.obs.as_ref()
+    }
+
+    /// The shared implementation: spawns workers plus the global
+    /// controller, recording each period's trace into `sink` when given.
+    fn spawn_sink<H, S>(cfg: ShardConfig, mut hook: H, sink: Option<S>) -> Self
+    where
+        H: InstrumentedHook + Send + 'static,
+        S: EventSink + Send + 'static,
     {
         assert!(cfg.shards >= 1, "need at least one shard");
         assert!(cfg.headroom > 0.0 && cfg.headroom <= 1.0);
@@ -279,7 +352,7 @@ impl ShardedEngine {
                 Shard {
                     stats,
                     tx: RwLock::new(Some(tx)),
-                    dispatched: AtomicU64::new(0),
+                    dispatched: Arc::new(AtomicU64::new(0)),
                     handle: Some(handle),
                 }
             })
@@ -290,7 +363,7 @@ impl ShardedEngine {
             let stats: Vec<Arc<WorkerStats>> =
                 shards.iter().map(|s| Arc::clone(&s.stats)).collect();
             let cfg = cfg.clone();
-            let mut recorder = recorder;
+            let mut sink = sink;
             std::thread::spawn(move || {
                 let start = Instant::now();
                 let mut k = 0u64;
@@ -397,8 +470,7 @@ impl ShardedEngine {
                         }
                     }
 
-                    if let Some(rec) = recorder.as_mut() {
-                        use crate::telemetry::EventSink as _;
+                    if let Some(rec) = sink.as_mut() {
                         let state = hook.control_state();
                         let trace =
                             ControlTrace::capture(&snapshot, &decision, state.as_ref(), hook_ns)
@@ -415,6 +487,7 @@ impl ShardedEngine {
             shards,
             controller: Some(controller),
             cfg,
+            obs: None,
         }
     }
 
@@ -498,20 +571,35 @@ impl ShardedEngine {
     /// `streamshed_*` global counters plus `streamshed_shard_*` families
     /// labelled `{shard="i"}`.
     pub fn prometheus_text(&self) -> String {
-        let g = &self.global;
-        let per = |f: &dyn Fn(&Shard) -> f64| -> Vec<f64> { self.shards.iter().map(f).collect() };
-        let completed: u64 = self
-            .shards
-            .iter()
-            .map(|s| s.stats.completed.load(Ordering::Relaxed))
-            .sum();
-        let delay_sum: u64 = self
-            .shards
-            .iter()
-            .map(|s| s.stats.delay_sum_us.load(Ordering::Relaxed))
-            .sum();
+        let views: Vec<ShardView> = self.shards.iter().map(|s| s.view()).collect();
         let mut p = PromText::new("streamshed");
-        p.counter(
+        render_prometheus(&self.global, &views, &mut p);
+        if let Some(obs) = &self.obs {
+            obs.plane.health().render_prom(&mut p);
+        }
+        p.finish()
+    }
+}
+
+/// Renders the global counters plus the `{shard="i"}`-labelled families
+/// into `p` — shared by [`ShardedEngine::prometheus_text`] and the
+/// observed-mode `/metrics` closure (which captures cloned counter
+/// handles instead of the engine).
+fn render_prometheus(g: &Global, shards: &[ShardView], p: &mut PromText) {
+    let per = |f: &dyn Fn(&ShardView) -> f64| -> Vec<f64> { shards.iter().map(f).collect() };
+    let completed: u64 = shards
+        .iter()
+        .map(|s| s.stats.completed.load(Ordering::Relaxed))
+        .sum();
+    let delay_sum: u64 = shards
+        .iter()
+        .map(|s| s.stats.delay_sum_us.load(Ordering::Relaxed))
+        .sum();
+    let queue_len: u64 = shards
+        .iter()
+        .map(|s| s.stats.queue_len.load(Ordering::Relaxed))
+        .sum();
+    p.counter(
             "offered_total",
             "Tuples offered at the front door",
             g.offered.load(Ordering::Relaxed) as f64,
@@ -548,11 +636,11 @@ impl ShardedEngine {
             g.hook_ns_total.load(Ordering::Relaxed) as f64,
         )
         .gauge("alpha", "Entry drop probability currently in force", g.alpha())
-        .gauge("shards", "Number of worker shards", self.cfg.shards as f64)
+        .gauge("shards", "Number of worker shards", shards.len() as f64)
         .gauge(
             "queue_len",
             "Global virtual queue q(k) = sum of shard queues",
-            self.queue_len() as f64,
+            queue_len as f64,
         )
         .gauge(
             "delay_mean_ms",
@@ -599,9 +687,9 @@ impl ShardedEngine {
             "shard",
             &per(&|s| s.stats.cost_ewma_us()),
         );
-        p.finish()
-    }
+}
 
+impl ShardedEngine {
     /// Stops the controller, closes the front door, joins every worker
     /// (draining their queues), and returns the final report.
     pub fn shutdown(mut self) -> ShardReport {
@@ -614,6 +702,9 @@ impl ShardedEngine {
             if let Some(h) = shard.handle.take() {
                 let _ = h.join();
             }
+        }
+        if let Some(mut o) = self.obs.take() {
+            o.stop();
         }
         let mut per_shard = Vec::with_capacity(self.cfg.shards);
         let mut delay_sum = 0u64;
@@ -633,7 +724,7 @@ impl ShardedEngine {
                 completed: c,
                 dropped_shed: st.dropped_shed.load(Ordering::Relaxed),
                 worker_panics: st.worker_panics.load(Ordering::Relaxed),
-                mean_delay_ms: if c > 0 { d as f64 / c as f64 / 1e3 } else { 0.0 },
+                mean_delay_ms: st.mean_delay_ms(),
                 cost_ewma_us: st.cost_ewma_us(),
             });
         }
@@ -669,6 +760,9 @@ impl Drop for ShardedEngine {
             if let Some(h) = shard.handle.take() {
                 let _ = h.join();
             }
+        }
+        if let Some(mut o) = self.obs.take() {
+            o.stop();
         }
     }
 }
@@ -849,6 +943,41 @@ mod tests {
             "one preamble per family"
         );
         drop(engine);
+    }
+
+    #[test]
+    fn observed_sharded_engine_serves_shard_labels_live() {
+        use crate::obs::{http_get, ObsOptions};
+        let cfg = ShardConfig {
+            period: Duration::from_millis(10),
+            ..quick_cfg(2)
+        };
+        let options = ObsOptions::for_target(cfg.target_delay);
+        let engine = ShardedEngine::spawn_observed(cfg, NoShedding, &options).unwrap();
+        let addr = engine.obs().unwrap().addr().expect("http enabled");
+        for _ in 0..60 {
+            engine.offer();
+            std::thread::sleep(Duration::from_micros(300));
+        }
+        std::thread::sleep(Duration::from_millis(50));
+        let t = Duration::from_secs(2);
+
+        let (status, body) = http_get(addr, "/metrics", t).unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("streamshed_shard_dispatched_total{shard=\"1\"}"), "{body}");
+        assert!(body.contains("streamshed_diag_state"), "{body}");
+
+        let (status, body) = http_get(addr, "/health", t).unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("\"periods\":"), "{body}");
+
+        let (status, body) = http_get(addr, "/trace?last=4", t).unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("\"shards\":2"), "per-shard queues in traces: {body}");
+
+        let report = engine.shutdown();
+        assert!(report.counters_balance(), "{report:?}");
+        assert!(http_get(addr, "/health", Duration::from_millis(300)).is_err());
     }
 
     #[test]

@@ -55,22 +55,91 @@ pub const FLAG_ACTUATOR_PARTIAL: u16 = 1 << 5;
 /// Bit set when the reported control period was jittered.
 pub const FLAG_PERIOD_JITTER: u16 = 1 << 6;
 
+/// The `(bit, name)` table of every fault flag, in bit order.
+pub const FAULT_FLAGS: [(u16, &str); 7] = [
+    (FLAG_SENSOR_DROPOUT, "sensor_dropout"),
+    (FLAG_STALE_QUEUE, "stale_queue"),
+    (FLAG_COST_NAN, "cost_nan"),
+    (FLAG_COST_SPIKE, "cost_spike"),
+    (FLAG_ACTUATOR_IGNORE, "actuator_ignore"),
+    (FLAG_ACTUATOR_PARTIAL, "actuator_partial"),
+    (FLAG_PERIOD_JITTER, "period_jitter"),
+];
+
+/// OR of every defined `FLAG_*` bit.
+const FAULT_FLAG_MASK: u16 = FLAG_SENSOR_DROPOUT
+    | FLAG_STALE_QUEUE
+    | FLAG_COST_NAN
+    | FLAG_COST_SPIKE
+    | FLAG_ACTUATOR_IGNORE
+    | FLAG_ACTUATOR_PARTIAL
+    | FLAG_PERIOD_JITTER;
+
+/// Iterator over the names of the set fault-flag bits, in bit order.
+///
+/// Fixed-size state (no allocation per call); returned by
+/// [`fault_flag_names`].
+#[derive(Debug, Clone, Copy)]
+pub struct FaultFlagNames {
+    flags: u16,
+    idx: usize,
+}
+
+impl FaultFlagNames {
+    /// Joins the names with `sep` (one allocation for the output only).
+    pub fn join(self, sep: &str) -> String {
+        let mut out = String::new();
+        for name in self {
+            if !out.is_empty() {
+                out.push_str(sep);
+            }
+            out.push_str(name);
+        }
+        out
+    }
+}
+
+impl Iterator for FaultFlagNames {
+    type Item = &'static str;
+
+    fn next(&mut self) -> Option<&'static str> {
+        while self.idx < FAULT_FLAGS.len() {
+            let (bit, name) = FAULT_FLAGS[self.idx];
+            self.idx += 1;
+            if self.flags & bit != 0 {
+                return Some(name);
+            }
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining: u16 = FAULT_FLAGS[self.idx..]
+            .iter()
+            .fold(0, |acc, (bit, _)| acc | bit);
+        let n = (self.flags & remaining).count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for FaultFlagNames {}
+
 /// Human-readable names of the set fault-flag bits, for rendering.
-pub fn fault_flag_names(flags: u16) -> Vec<&'static str> {
-    const TABLE: [(u16, &str); 7] = [
-        (FLAG_SENSOR_DROPOUT, "sensor_dropout"),
-        (FLAG_STALE_QUEUE, "stale_queue"),
-        (FLAG_COST_NAN, "cost_nan"),
-        (FLAG_COST_SPIKE, "cost_spike"),
-        (FLAG_ACTUATOR_IGNORE, "actuator_ignore"),
-        (FLAG_ACTUATOR_PARTIAL, "actuator_partial"),
-        (FLAG_PERIOD_JITTER, "period_jitter"),
-    ];
-    TABLE
+/// Returns a fixed-size iterator — no per-call allocation.
+pub fn fault_flag_names(flags: u16) -> FaultFlagNames {
+    FaultFlagNames {
+        flags: flags & FAULT_FLAG_MASK,
+        idx: 0,
+    }
+}
+
+/// The `FLAG_*` bit for a fault-flag name, `None` for unknown names.
+/// Inverse of [`fault_flag_names`] — every name round-trips to its bit.
+pub fn fault_flag_bit(name: &str) -> Option<u16> {
+    FAULT_FLAGS
         .iter()
-        .filter(|(bit, _)| flags & bit != 0)
-        .map(|&(_, name)| name)
-        .collect()
+        .find(|&&(_, n)| n == name)
+        .map(|&(bit, _)| bit)
 }
 
 // ---------------------------------------------------------------------------
@@ -742,6 +811,14 @@ impl<H: InstrumentedHook> TracingHook<H, SharedRecorder> {
 }
 
 impl<H, S> TracingHook<H, S> {
+    /// Traces `inner` into an arbitrary [`EventSink`] — the constructor
+    /// the observability plane uses to fan one trace stream out to the
+    /// ring recorder, the diagnostics engine, and the flight recorder at
+    /// once (see [`ObsPlane`](crate::obs::ObsPlane)).
+    pub fn with_sink(inner: H, sink: S) -> Self {
+        Self { inner, sink }
+    }
+
     /// The wrapped hook.
     pub fn inner(&self) -> &H {
         &self.inner
@@ -794,6 +871,31 @@ pub struct PromText {
     out: String,
 }
 
+/// Escapes a `# HELP` text per the Prometheus exposition format:
+/// backslash and newline become `\\` and `\n`.
+fn escape_help(out: &mut String, text: &str) {
+    for ch in text.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Escapes a label value per the Prometheus exposition format:
+/// backslash, newline, and double quote become `\\`, `\n`, and `\"`.
+fn escape_label_value(out: &mut String, value: &str) {
+    for ch in value.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '"' => out.push_str("\\\""),
+            c => out.push(c),
+        }
+    }
+}
+
 impl PromText {
     /// Creates a builder; every metric name is prefixed `"<prefix>_"`.
     pub fn new(prefix: &str) -> Self {
@@ -815,7 +917,9 @@ impl PromText {
     fn preamble(&mut self, name: &str, help: &str, kind: &str) -> String {
         use std::fmt::Write as _;
         let full = format!("{}_{name}", self.prefix);
-        let _ = writeln!(self.out, "# HELP {full} {help}");
+        let _ = write!(self.out, "# HELP {full} ");
+        escape_help(&mut self.out, help);
+        self.out.push('\n');
         let _ = writeln!(self.out, "# TYPE {full} {kind}");
         full
     }
@@ -831,6 +935,22 @@ impl PromText {
             let series = format!("{full}{{{label}=\"{i}\"}}");
             self.write_value(&series, value);
         }
+    }
+
+    fn sample_labeled(
+        &mut self,
+        name: &str,
+        help: &str,
+        kind: &str,
+        label: &str,
+        label_value: &str,
+        value: f64,
+    ) {
+        let full = self.preamble(name, help, kind);
+        let mut series = format!("{full}{{{label}=\"");
+        escape_label_value(&mut series, label_value);
+        series.push_str("\"}");
+        self.write_value(&series, value);
     }
 
     /// Appends a monotone counter sample.
@@ -857,6 +977,35 @@ impl PromText {
     /// `values`, labelled by index.
     pub fn gauge_vec(&mut self, name: &str, help: &str, label: &str, values: &[f64]) -> &mut Self {
         self.sample_vec(name, help, "gauge", label, values);
+        self
+    }
+
+    /// Appends one counter sample carrying an arbitrary string label
+    /// value (escaped per the exposition format).
+    pub fn counter_labeled(
+        &mut self,
+        name: &str,
+        help: &str,
+        label: &str,
+        label_value: &str,
+        value: f64,
+    ) -> &mut Self {
+        self.sample_labeled(name, help, "counter", label, label_value, value);
+        self
+    }
+
+    /// Appends one gauge sample carrying an arbitrary string label value
+    /// (escaped per the exposition format) — e.g.
+    /// `streamshed_diag_state_info{state="oscillating"} 1`.
+    pub fn gauge_labeled(
+        &mut self,
+        name: &str,
+        help: &str,
+        label: &str,
+        label_value: &str,
+        value: f64,
+    ) -> &mut Self {
+        self.sample_labeled(name, help, "gauge", label, label_value, value);
         self
     }
 
@@ -1012,7 +1161,10 @@ mod tests {
         assert_eq!(t.y_hat_s, 2.5);
         assert_eq!(t.mode, LoopMode::Fallback);
         assert_eq!(t.fault_flags, FLAG_STALE_QUEUE);
-        assert_eq!(fault_flag_names(t.fault_flags), vec!["stale_queue"]);
+        assert_eq!(
+            fault_flag_names(t.fault_flags).collect::<Vec<_>>(),
+            vec!["stale_queue"]
+        );
     }
 
     #[test]
@@ -1090,6 +1242,61 @@ mod tests {
             | FLAG_ACTUATOR_PARTIAL
             | FLAG_PERIOD_JITTER;
         assert_eq!(fault_flag_names(all).len(), 7);
-        assert!(fault_flag_names(0).is_empty());
+        assert_eq!(fault_flag_names(all).count(), 7);
+        assert_eq!(fault_flag_names(0).len(), 0);
+        assert_eq!(fault_flag_names(0).next(), None);
+        // Undefined high bits never leak into the iteration.
+        assert_eq!(fault_flag_names(0x8000).len(), 0);
+    }
+
+    #[test]
+    fn fault_flags_round_trip_bit_to_name_to_bit() {
+        for &(bit, name) in FAULT_FLAGS.iter() {
+            let names: Vec<_> = fault_flag_names(bit).collect();
+            assert_eq!(names, vec![name], "bit {bit:#06x}");
+            assert_eq!(fault_flag_bit(name), Some(bit), "name {name}");
+        }
+        assert_eq!(fault_flag_bit("no_such_flag"), None);
+        // Joined rendering matches the table order for a multi-bit set.
+        let joined = fault_flag_names(FLAG_STALE_QUEUE | FLAG_PERIOD_JITTER).join("|");
+        assert_eq!(joined, "stale_queue|period_jitter");
+        assert_eq!(fault_flag_names(0).join("|"), "");
+    }
+
+    #[test]
+    fn prom_text_escapes_hostile_labels_and_help() {
+        let mut p = PromText::new("streamshed");
+        p.gauge_labeled(
+            "diag_state_info",
+            "Current state.\nSecond \\ line",
+            "state",
+            "evil\"name\\with\nnewline",
+            1.0,
+        );
+        let text = p.finish();
+        // HELP: backslash and newline escaped (quotes stay literal).
+        assert!(
+            text.contains("# HELP streamshed_diag_state_info Current state.\\nSecond \\\\ line"),
+            "{text}"
+        );
+        // Label value: backslash, double quote, and newline all escaped.
+        assert!(
+            text.contains(
+                "streamshed_diag_state_info{state=\"evil\\\"name\\\\with\\nnewline\"} 1"
+            ),
+            "{text}"
+        );
+        // The exposition text stays line-structured: exactly HELP, TYPE,
+        // and one sample line.
+        assert_eq!(text.lines().count(), 3, "{text}");
+    }
+
+    #[test]
+    fn prom_text_labeled_counter_sample() {
+        let mut p = PromText::new("s");
+        p.counter_labeled("anomalies_total", "Anomaly entries", "state", "saturated", 3.0);
+        let text = p.finish();
+        assert!(text.contains("# TYPE s_anomalies_total counter"));
+        assert!(text.contains("s_anomalies_total{state=\"saturated\"} 3"));
     }
 }

@@ -119,6 +119,19 @@ impl WorkerStats {
         f64::from_bits(self.cost_ewma_bits.load(Ordering::Relaxed))
     }
 
+    /// Mean delay of this worker's completed tuples so far, milliseconds
+    /// (0 before any completion). The per-period *delta* mean the
+    /// controller consumes is computed from counter deltas instead; this
+    /// cumulative form is what reports and per-shard stats need.
+    pub fn mean_delay_ms(&self) -> f64 {
+        let completed = self.completed.load(Ordering::Relaxed);
+        if completed == 0 {
+            0.0
+        } else {
+            self.delay_sum_us.load(Ordering::Relaxed) as f64 / completed as f64 / 1e3
+        }
+    }
+
     /// Folds one measured work-cost sample (µs) into the EWMA. Single
     /// writer: only the worker thread calls this.
     fn update_cost_ewma(&self, sample_us: f64) {

@@ -80,10 +80,12 @@ fn main() {
                 eprintln!(
                     "usage: reproduce [--out DIR] [--seed N] [--jobs N] [fig5 fig6 fig7 \
                      fig8 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 overhead \
-                     ablations extensions faults sharded | all]\n       \
+                     ablations extensions faults sharded monitor | all]\n       \
                      reproduce trace --scenario KEY [--out DIR] [--seed N]\n       \
                      sharded: wall-clock sharded-engine convergence (1 vs 4 shards); \
                      not part of 'all'\n       \
+                     monitor: wall-clock observability-plane self-test (live /metrics, \
+                     /health, /trace under injected faults); not part of 'all'\n       \
                      --jobs N: regenerate figures on N worker threads (0 or default: \
                      one per core); results are byte-identical for any N\n       \
                      scenarios: {}",
@@ -129,7 +131,7 @@ fn main() {
             name.as_str(),
             "fig5" | "fig6" | "fig7" | "fig8" | "fig12" | "fig13" | "fig14" | "fig15"
                 | "fig16" | "fig17" | "fig18" | "fig19" | "overhead" | "ablations"
-                | "extensions" | "faults" | "sharded"
+                | "extensions" | "faults" | "sharded" | "monitor"
         );
         if !known {
             eprintln!("unknown figure '{name}', skipping");
@@ -163,6 +165,7 @@ fn main() {
             // Wall-clock (not virtual-time): run explicitly, not in
             // "all". The engine paces itself; --seed has no effect.
             "sharded" => exp::sharded::run(),
+            "monitor" => exp::monitor::run(),
             other => unreachable!("unknown figure '{other}' survived filtering"),
         };
         (fig, start.elapsed())

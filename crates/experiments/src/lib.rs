@@ -27,7 +27,11 @@
 //! telemetry stack engaged (`reproduce trace --scenario <key>`), and
 //! [`sharded`] demonstrates delay convergence on the wall-clock sharded
 //! data plane (`reproduce sharded`; excluded from `all` because it is
-//! wall-clock rather than virtual-time).
+//! wall-clock rather than virtual-time), and [`monitor`] exercises the
+//! live observability plane — the sharded engine under injected
+//! oscillation/saturation faults while the experiment polls the
+//! engine's own `/metrics`, `/health` and `/trace` endpoints
+//! (`reproduce monitor`; wall-clock, likewise excluded from `all`).
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -47,6 +51,7 @@ pub mod fig16;
 pub mod fig17;
 pub mod fig18;
 pub mod fig19;
+pub mod monitor;
 pub mod overhead;
 pub mod parallel;
 pub mod render;
