@@ -166,6 +166,7 @@ fn sweep_cfg(shards: usize) -> ShardConfig {
         panic_on_tuple: None,
         cost_model: CostModel::Spin,
         dispatch: Dispatch::RoundRobin,
+        seed: ShardConfig::DEFAULT_SEED,
     }
 }
 

@@ -154,6 +154,15 @@ impl FaultPlan {
         self
     }
 
+    /// Concatenates another plan's windows onto this one — compound
+    /// faults (e.g. a stale queue sensor *and* a half-dead actuator) are
+    /// built by merging single-fault plans. The receiver's seed stays in
+    /// force for intermittent-window draws.
+    pub fn merge(mut self, other: &FaultPlan) -> Self {
+        self.windows.extend_from_slice(&other.windows);
+        self
+    }
+
     /// The scheduled windows.
     pub fn windows(&self) -> &[FaultWindow] {
         &self.windows
@@ -525,6 +534,23 @@ mod tests {
         assert_eq!(n1, n2);
         assert_eq!(pattern1, pattern2);
         assert!(n1 > 25 && n1 < 75, "≈half the periods fire, got {n1}");
+    }
+
+    #[test]
+    fn merged_plans_inject_both_fault_classes() {
+        let stale = FaultPlan::new(5).with(FaultWindow::new(FaultKind::StaleQueue, 0, 2));
+        let partial = FaultPlan::new(9)
+            .with(FaultWindow::new(FaultKind::ActuatorPartial { applied: 0.5 }, 1, 2));
+        let compound = stale.merge(&partial);
+        assert_eq!(compound.windows().len(), 2);
+        assert_eq!(compound.seed(), 5, "receiver's seed wins");
+        let mut h = FaultyHook::new(Probe(Vec::new(), Decision::entry(0.8)), compound);
+        let _ = h.on_period(&snap(0, 100, Some(5000.0)));
+        let d = h.on_period(&snap(1, 200, Some(5000.0)));
+        assert_eq!(h.inner().0[1].outstanding, 100, "queue frozen by merged window");
+        assert!((d.entry_drop_prob - 0.4).abs() < 1e-12, "actuation halved");
+        assert_eq!(h.log().stale_queue_samples, 2);
+        assert_eq!(h.log().actuator_faults, 1);
     }
 
     #[test]

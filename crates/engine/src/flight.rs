@@ -49,6 +49,26 @@ impl FlightConfig {
             max_bundles: 8,
         }
     }
+
+    /// Same defaults, but writing into a per-run subdirectory
+    /// `base/<sanitised run_key>` — so many concurrent runs (a scenario
+    /// campaign) neither interleave their bundles nor evict each other's
+    /// through the shared retention limit: the 8-bundle cap applies per
+    /// run. Key characters outside `[A-Za-z0-9._-]` become `_`.
+    pub fn for_run(base: impl Into<PathBuf>, run_key: &str) -> Self {
+        let sane: String = run_key
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        let sane = if sane.is_empty() { "run".to_string() } else { sane };
+        Self::new(base.into().join(sane))
+    }
 }
 
 /// Writes anomaly bundles. One instance per observability plane; not
@@ -305,6 +325,42 @@ mod tests {
         assert!(names.iter().any(|n| n.contains("k00000500")), "{names:?}");
         assert!(!names.iter().any(|n| n.contains("k00000000")), "{names:?}");
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn per_run_config_isolates_retention_between_runs() {
+        let base = temp_dir("per_run");
+        // The raw campaign key contains characters unfit for paths.
+        let a = FlightConfig::for_run(&base, "web+stale_q+ident+4shard/paper");
+        let b = FlightConfig::for_run(&base, "poisson+clean+ident+1shard/paper");
+        assert_ne!(a.dir, b.dir);
+        assert!(a.dir.starts_with(&base));
+        let name = a.dir.file_name().unwrap().to_string_lossy().into_owned();
+        assert!(
+            name.chars().all(|c| c.is_ascii_alphanumeric() || "._-".contains(c)),
+            "{name}"
+        );
+        assert_eq!(FlightConfig::for_run(&base, "???").dir, base.join("___"));
+        assert_eq!(FlightConfig::for_run(&base, "").dir, base.join("run"));
+
+        // Bundles written under one run never evict the other run's.
+        let mut cfg_a = a.clone();
+        cfg_a.debounce_periods = 0;
+        cfg_a.max_bundles = 2;
+        let mut fr_a = FlightRecorder::new(cfg_a);
+        let mut fr_b = FlightRecorder::new(b.clone());
+        let traces = [trace(0)];
+        assert!(fr_b
+            .record_transition(1, HealthState::Diverging, &snapshot(), &traces)
+            .is_some());
+        for k in 0..5 {
+            assert!(fr_a
+                .record_transition(k, HealthState::Diverging, &snapshot(), &traces)
+                .is_some());
+        }
+        assert_eq!(list_bundles(&fr_a.config().dir).len(), 2, "run A retention");
+        assert_eq!(list_bundles(&b.dir).len(), 1, "run B untouched");
+        let _ = fs::remove_dir_all(&base);
     }
 
     #[test]

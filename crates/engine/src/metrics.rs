@@ -297,6 +297,32 @@ impl RunReport {
         &self.delay_stats
     }
 
+    /// Virtual-queue length at the last recorded period boundary (0 for
+    /// a run with no periods).
+    pub fn outstanding_at_end(&self) -> u64 {
+        self.periods.last().map_or(0, |p| p.outstanding)
+    }
+
+    /// Tuple-conservation residual:
+    /// `offered − (dropped_entry + dropped_network + completed +
+    /// outstanding_at_end)`.
+    ///
+    /// The simulator's accounting makes this identity exact whenever the
+    /// run length is a whole number of control periods (the last period
+    /// boundary then coincides with the end of the run); campaign
+    /// invariant checking gates on it being zero.
+    pub fn conservation_residual(&self) -> i64 {
+        self.offered as i64
+            - (self.dropped_entry + self.dropped_network + self.completed
+                + self.outstanding_at_end()) as i64
+    }
+
+    /// Whether the tuple counters balance exactly (see
+    /// [`RunReport::conservation_residual`]).
+    pub fn counters_balance(&self) -> bool {
+        self.conservation_residual() == 0
+    }
+
     /// The y(k) series (mean delay by arrival period, ms). Periods with no
     /// samples carry `NaN`.
     pub fn y_series_ms(&self) -> Vec<f64> {
@@ -646,6 +672,37 @@ mod tests {
         assert!((report.periods[0].arrival_mean_delay_ms - 1000.0).abs() < 1e-9);
         assert!(report.periods[1].arrival_mean_delay_ms.is_nan());
         assert!((report.periods[2].arrival_mean_delay_ms - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conservation_probe_balances_and_detects_leaks() {
+        let mut acc = MetricsAccumulator::new(secs(2), secs(1));
+        acc.offered = 100;
+        acc.dropped_entry = 30;
+        acc.dropped_network = 10;
+        acc.record_departure(SimTime::ZERO, SimTime::ZERO + secs(1));
+        acc.record_departure(SimTime::ZERO, SimTime::ZERO + secs(1));
+        acc.periods.push(PeriodRecord {
+            k: 0,
+            time_s: 1.0,
+            offered: 100,
+            admitted: 70,
+            dropped: 40,
+            completed: 2,
+            outstanding: 58,
+            alpha: 0.3,
+            arrival_mean_delay_ms: f64::NAN,
+            measured_cost_us: f64::NAN,
+            cpu_utilisation: 0.5,
+        });
+        let mut report = acc.finish();
+        assert_eq!(report.outstanding_at_end(), 58);
+        assert_eq!(report.conservation_residual(), 0);
+        assert!(report.counters_balance());
+        // A lost tuple (counter increment dropped) breaks the balance.
+        report.completed -= 1;
+        assert_eq!(report.conservation_residual(), 1);
+        assert!(!report.counters_balance());
     }
 
     #[test]

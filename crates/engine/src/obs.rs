@@ -107,6 +107,19 @@ impl ObsOptions {
         self
     }
 
+    /// Adds an anomaly flight recorder writing into a per-run
+    /// subdirectory of `base` (see [`FlightConfig::for_run`]) — campaign
+    /// hygiene: concurrent runs keep their own bundle retention instead
+    /// of evicting each other in a shared directory.
+    pub fn with_flight_run_dir(
+        mut self,
+        base: impl Into<std::path::PathBuf>,
+        run_key: &str,
+    ) -> Self {
+        self.flight = Some(FlightConfig::for_run(base, run_key));
+        self
+    }
+
     /// Replaces the HTTP configuration (e.g. to pin a port).
     pub fn with_http_addr(mut self, addr: impl Into<String>) -> Self {
         let mut http = self.http.unwrap_or_default();

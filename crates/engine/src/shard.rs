@@ -84,9 +84,17 @@ pub struct ShardConfig {
     pub cost_model: CostModel,
     /// Front-door routing policy.
     pub dispatch: Dispatch,
+    /// Seed of the front-door entry-shedder RNG, so shedding decisions
+    /// replay exactly for a given seed (wall-clock pacing still varies
+    /// between runs). [`ShardConfig::DEFAULT_SEED`] preserves the
+    /// historical stream.
+    pub seed: u64,
 }
 
 impl ShardConfig {
+    /// The entry-shedder seed used before seeds became configurable.
+    pub const DEFAULT_SEED: u64 = 0xA076_1D64_78BD_642F;
+
     /// A fast demo configuration mirroring [`RtConfig::demo`]
     /// (2 ms tuples, 100 ms period, 200 ms target) at `shards` shards.
     ///
@@ -102,6 +110,7 @@ impl ShardConfig {
             panic_on_tuple: None,
             cost_model: CostModel::Sleep,
             dispatch: Dispatch::RoundRobin,
+            seed: Self::DEFAULT_SEED,
         }
     }
 }
@@ -156,7 +165,7 @@ struct Global {
 }
 
 impl Global {
-    fn new() -> Self {
+    fn new(seed: u64) -> Self {
         Self {
             alpha_bits: AtomicU64::new(0.0f64.to_bits()),
             offered: AtomicU64::new(0),
@@ -168,7 +177,7 @@ impl Global {
             hook_ns_total: AtomicU64::new(0),
             rr_next: AtomicU64::new(0),
             stop: AtomicBool::new(false),
-            shedder: AtomicShedder::new(0xA076_1D64_78BD_642F),
+            shedder: AtomicShedder::new(seed),
         }
     }
 
@@ -333,7 +342,7 @@ impl ShardedEngine {
         assert!(cfg.shards >= 1, "need at least one shard");
         assert!(cfg.headroom > 0.0 && cfg.headroom <= 1.0);
         assert!(cfg.queue_capacity > 0, "queue capacity must be positive");
-        let global = Arc::new(Global::new());
+        let global = Arc::new(Global::new(cfg.seed));
         let shards: Vec<Shard> = (0..cfg.shards)
             .map(|_| {
                 let stats = Arc::new(WorkerStats::new());
@@ -820,6 +829,7 @@ mod tests {
             panic_on_tuple: None,
             cost_model: CostModel::Sleep,
             dispatch: Dispatch::RoundRobin,
+            seed: ShardConfig::DEFAULT_SEED,
         }
     }
 

@@ -462,8 +462,15 @@ impl Simulator {
                     } else {
                         None
                     },
+                    // An idle pipeline (nothing completed *and* nothing
+                    // in flight) has a known delay of zero — reporting
+                    // `None` there would let an over-shedding controller
+                    // read its own drought as a sensor blackout and hold
+                    // the shut command forever.
                     mean_delay_ms: if pc.completed > 0 {
                         Some(pc.delay_sum_ms / pc.completed as f64)
+                    } else if self.roots.live_roots == 0 {
+                        Some(0.0)
                     } else {
                         None
                     },
@@ -494,9 +501,14 @@ impl Simulator {
                 });
                 pc = PeriodCounters::default();
                 k += 1;
+                let boundary = next_boundary;
                 next_boundary += period;
 
-                if decision.shed_load_us > 0.0 {
+                // A decision commands the *following* period; at the run
+                // end there is none, so acting on it would only shed
+                // tuples already recorded as outstanding (breaking the
+                // run-level conservation identity).
+                if decision.shed_load_us > 0.0 && boundary < end {
                     let t0 = std::time::Instant::now();
                     let dropped = self.shed_load(decision.shed_load_us);
                     if let Some(rec) = self.telemetry.as_mut() {
@@ -952,9 +964,10 @@ impl Simulator {
                         Some((entry, t)) => {
                             self.buffered_per_entry[entry] -= 1;
                             shed += self.network.downstream_load_us(NodeId(entry));
-                            dropped += 1;
                             self.node_shed[entry] += 1;
-                            let _ = self.roots.consume(t.root);
+                            if self.roots.consume(t.root).is_some() {
+                                dropped += 1;
+                            }
                         }
                         None => break,
                     }
@@ -966,9 +979,10 @@ impl Simulator {
                         Some((entry, t)) => {
                             self.buffered_per_entry[entry] -= 1;
                             shed += self.network.downstream_load_us(NodeId(entry));
-                            dropped += 1;
                             self.node_shed[entry] += 1;
-                            let _ = self.roots.consume(t.root);
+                            if self.roots.consume(t.root).is_some() {
+                                dropped += 1;
+                            }
                         }
                         None => break,
                     }
@@ -995,9 +1009,10 @@ impl Simulator {
                         let (entry, t) = self.input_buffer[idx];
                         self.buffered_per_entry[entry] -= 1;
                         shed += self.network.downstream_load_us(NodeId(entry));
-                        dropped += 1;
                         self.node_shed[entry] += 1;
-                        let _ = self.roots.consume(t.root);
+                        if self.roots.consume(t.root).is_some() {
+                            dropped += 1;
+                        }
                         doomed[idx] = true;
                     }
                     let mut i = 0;
@@ -1032,11 +1047,18 @@ impl Simulator {
                             self.total_queued -= 1;
                             self.note_pop(i);
                             shed += per_tuple;
-                            dropped += 1;
                             self.node_shed[i] += 1;
                             // A shed root that reaches zero copies departs
                             // silently — it is loss, not a delay sample.
-                            let _ = self.roots.consume(t.root);
+                            // On fan-out networks a root can have other
+                            // copies still in flight; it counts as
+                            // dropped only when this shed retires it
+                            // (otherwise the surviving copy settles its
+                            // fate), keeping the run-level conservation
+                            // identity exact.
+                            if self.roots.consume(t.root).is_some() {
+                                dropped += 1;
+                            }
                         }
                         None => break,
                     }
@@ -1083,9 +1105,12 @@ impl Simulator {
                             self.total_queued -= 1;
                             self.note_pop(i);
                             shed += per_tuple;
-                            dropped += 1;
                             self.node_shed[i] += 1;
-                            let _ = self.roots.consume(t.root);
+                            // Count root retirements, not copies (see
+                            // `shed_load` on fan-out conservation).
+                            if self.roots.consume(t.root).is_some() {
+                                dropped += 1;
+                            }
                         }
                         None => break,
                     }
@@ -1108,9 +1133,10 @@ impl Simulator {
                     doomed[idx] = true;
                     self.buffered_per_entry[entry] -= 1;
                     shed += per_tuple;
-                    dropped += 1;
                     self.node_shed[i] += 1;
-                    let _ = self.roots.consume(t.root);
+                    if self.roots.consume(t.root).is_some() {
+                        dropped += 1;
+                    }
                 }
                 let mut k = 0;
                 self.input_buffer.retain(|_| {

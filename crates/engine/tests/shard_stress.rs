@@ -34,6 +34,7 @@ fn stress_cfg(shards: usize) -> ShardConfig {
         panic_on_tuple: None,
         cost_model: CostModel::Sleep,
         dispatch: Dispatch::RoundRobin,
+        seed: ShardConfig::DEFAULT_SEED,
     }
 }
 

@@ -136,7 +136,7 @@ pub fn run(seed: u64) -> FigureResult {
             "network-shed can cull the standing queue: far fewer violations, slightly more loss"
                 .into(),
             "true-delay feedback reacts a full queue-drain late: it over-sheds \
-             massively (≈2× the default's loss) yet still suffers multi-second \
+             (more loss than the default) yet still suffers multi-second \
              worst-case overshoots (motivates §4.5.1)"
                 .into(),
             "slow poles (0.9) relax α sluggishly after bursts and over-shed; \
@@ -178,10 +178,14 @@ mod tests {
         // ...at somewhat higher loss.
         assert!(mean("network-shed:loss") >= mean("entry-shed (default):loss") - 0.02);
         // The delayed true-delay feedback over-reacts to stale
-        // measurements: it buys its violations down by shedding massively
-        // more data — §4.5.1's motivation...
+        // measurements: it buys its violations down by shedding more
+        // data — §4.5.1's motivation. (The margin shrank when the
+        // engine's delay sensor learned to report a known-zero delay
+        // for a fully idle pipeline instead of a blackout: the variant
+        // no longer wedges shut after a drought, but it still loses
+        // strictly more than the default.)
         assert!(
-            mean("true-delay-feedback:loss") > mean("entry-shed (default):loss") * 1.3,
+            mean("true-delay-feedback:loss") > mean("entry-shed (default):loss") * 1.02,
             "true-delay loss {} vs default {}",
             mean("true-delay-feedback:loss"),
             mean("entry-shed (default):loss")

@@ -3,6 +3,8 @@
 //! ```text
 //! reproduce [--out DIR] [--seed N] [--jobs N] [fig5 fig6 ... | all]
 //! reproduce trace --scenario KEY [--out DIR] [--seed N]
+//! reproduce campaign [--lane sanity|stress|full] [--filter GLOB] [--list]
+//!                    [--sabotage] [--out DIR] [--seed N] [--jobs N]
 //! ```
 //!
 //! Writes `DIR/<fig>.csv` + `DIR/<fig>.json` for each figure and prints
@@ -43,11 +45,67 @@ fn run_trace(scenario: &str, out_dir: &PathBuf, seed: u64) {
     }
 }
 
+/// Runs `reproduce campaign`: selects the lane (or a `--filter` subset
+/// of the full grid), runs every cell, prints the verdict + failure
+/// table, writes `CAMPAIGN.json`, and exits non-zero on failures unless
+/// the lane is `stress` (the rotating lane reports without blocking).
+#[allow(clippy::too_many_arguments)]
+fn run_campaign_cmd(
+    lane: &str,
+    filter: Option<&str>,
+    list_only: bool,
+    sabotage: bool,
+    out_dir: &PathBuf,
+    seed: u64,
+    jobs: u64,
+) {
+    let cells = exp::campaign::select_cells(lane, seed, filter);
+    if list_only {
+        for c in &cells {
+            println!("{}", c.key());
+        }
+        eprintln!("{} cell(s)", cells.len());
+        return;
+    }
+    if cells.is_empty() {
+        eprintln!("no cells match{}", filter.map(|f| format!(" filter '{f}'")).unwrap_or_default());
+        std::process::exit(2);
+    }
+    let label = if filter.is_some() { "filter" } else { lane };
+    let start = std::time::Instant::now();
+    let result = exp::campaign::run_campaign(label, cells, seed, jobs as usize, sabotage);
+    println!("{}", result.render_summary());
+    print!("{}", result.render_failures());
+    println!("  [{} cell(s) in {:.1?} across {} worker(s)]", result.cells, start.elapsed(), jobs);
+    if let Err(e) = std::fs::create_dir_all(out_dir) {
+        eprintln!("failed to create {}: {e}", out_dir.display());
+        std::process::exit(1);
+    }
+    let path = out_dir.join("CAMPAIGN.json");
+    match std::fs::File::create(&path).and_then(|mut f| f.write_all(result.to_json().as_bytes()))
+    {
+        Ok(()) => println!("campaign results written to {}", path.display()),
+        Err(e) => {
+            eprintln!("failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+    // The stress lane reports findings without gating; every other
+    // selection is a hard gate.
+    if !result.all_green() && lane != "stress" {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let mut out_dir = PathBuf::from("results");
     let mut seed = 7u64;
     let mut jobs = exp::parallel::default_jobs();
     let mut scenario: Option<String> = None;
+    let mut lane = String::from("sanity");
+    let mut filter: Option<String> = None;
+    let mut list_only = false;
+    let mut sabotage = false;
     let mut wanted: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -56,6 +114,14 @@ fn main() {
             "--out" => {
                 out_dir = PathBuf::from(args.next().expect("--out needs a directory"));
             }
+            "--lane" => {
+                lane = args.next().expect("--lane needs sanity|stress|full");
+            }
+            "--filter" => {
+                filter = Some(args.next().expect("--filter needs a key glob"));
+            }
+            "--list" => list_only = true,
+            "--sabotage" => sabotage = true,
             "--seed" => {
                 seed = args
                     .next()
@@ -82,6 +148,12 @@ fn main() {
                      fig8 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 overhead \
                      ablations extensions faults sharded monitor | all]\n       \
                      reproduce trace --scenario KEY [--out DIR] [--seed N]\n       \
+                     reproduce campaign [--lane sanity|stress|full] [--filter GLOB] \
+                     [--list] [--sabotage] [--out DIR] [--seed N] [--jobs N]\n       \
+                     campaign: seeded grid sweep (workload × fault × topology × \
+                     shards × controller) with invariant checks; writes \
+                     DIR/CAMPAIGN.json; exits non-zero on failures except in the \
+                     stress lane\n       \
                      sharded: wall-clock sharded-engine convergence (1 vs 4 shards); \
                      not part of 'all'\n       \
                      monitor: wall-clock observability-plane self-test (live /metrics, \
@@ -95,6 +167,18 @@ fn main() {
             }
             other => wanted.push(other.to_string()),
         }
+    }
+    if wanted.iter().any(|w| w == "campaign") {
+        run_campaign_cmd(
+            &lane,
+            filter.as_deref(),
+            list_only,
+            sabotage,
+            &out_dir,
+            seed,
+            jobs as u64,
+        );
+        return;
     }
     if wanted.iter().any(|w| w == "trace") {
         let key = scenario.unwrap_or_else(|| {
@@ -163,9 +247,10 @@ fn main() {
             "extensions" => exp::extensions::run(seed),
             "faults" => exp::faults::run(seed),
             // Wall-clock (not virtual-time): run explicitly, not in
-            // "all". The engine paces itself; --seed has no effect.
-            "sharded" => exp::sharded::run(),
-            "monitor" => exp::monitor::run(),
+            // "all". --seed drives the entry shedder; pacing stays
+            // wall-clock, so runs are seedable but not byte-identical.
+            "sharded" => exp::sharded::run(seed),
+            "monitor" => exp::monitor::run(seed),
             other => unreachable!("unknown figure '{other}' survived filtering"),
         };
         (fig, start.elapsed())

@@ -32,11 +32,16 @@
 //! oscillation/saturation faults while the experiment polls the
 //! engine's own `/metrics`, `/health` and `/trace` endpoints
 //! (`reproduce monitor`; wall-clock, likewise excluded from `all`).
+//! [`campaign`] is the deterministic scenario-campaign harness: seeded
+//! grid sweeps over workload × fault × topology × shards × controller
+//! with an invariant library and sanity/stress CI lanes
+//! (`reproduce campaign --lane sanity`).
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod ablations;
+pub mod campaign;
 pub mod extensions;
 pub mod faults;
 pub mod fig05;

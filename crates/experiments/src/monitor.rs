@@ -112,6 +112,7 @@ fn run_phase<H>(
     rate: f64,
     run: Duration,
     flight_dir: &PathBuf,
+    seed: u64,
 ) -> PhaseOutcome
 where
     H: InstrumentedHook + Send + 'static,
@@ -127,6 +128,7 @@ where
         panic_on_tuple: None,
         cost_model: CostModel::Sleep,
         dispatch: Dispatch::RoundRobin,
+        seed,
     };
     let mut options = ObsOptions::for_target(Duration::from_millis(TARGET_MS as u64))
         .with_flight_dir(flight_dir.clone());
@@ -214,7 +216,7 @@ fn flight_dir(phase: &str) -> PathBuf {
 }
 
 /// Phase 1: the real controller, behaving.
-pub fn run_nominal(run: Duration) -> PhaseOutcome {
+pub fn run_nominal(run: Duration, seed: u64) -> PhaseOutcome {
     let loop_cfg = LoopConfig::paper_default()
         .with_target_delay_ms(TARGET_MS)
         .with_period_ms(PERIOD.as_millis() as f64)
@@ -222,12 +224,12 @@ pub fn run_nominal(run: Duration) -> PhaseOutcome {
         .with_prior_cost_us(COST.as_micros() as f64 / SHARDS as f64);
     let strategy = CtrlStrategy::from_config(&loop_cfg);
     let rate = 2.0 * CAPACITY_PER_SHARD * SHARDS as f64;
-    run_phase("nominal", strategy, rate, run, &flight_dir("nominal"))
+    run_phase("nominal", strategy, rate, run, &flight_dir("nominal"), seed)
 }
 
 /// Phase 2: bang-bang actuation — the hook slams `α` between 0.9 and
 /// 0.05 every period (a classic sign of a mistuned/unstable loop).
-pub fn run_oscillation(run: Duration) -> PhaseOutcome {
+pub fn run_oscillation(run: Duration, seed: u64) -> PhaseOutcome {
     let mut high = false;
     let hook = move |_s: &PeriodSnapshot| {
         high = !high;
@@ -238,14 +240,14 @@ pub fn run_oscillation(run: Duration) -> PhaseOutcome {
         }
     };
     let rate = 2.0 * CAPACITY_PER_SHARD * SHARDS as f64;
-    run_phase("oscillation", hook, rate, run, &flight_dir("oscillation"))
+    run_phase("oscillation", hook, rate, run, &flight_dir("oscillation"), seed)
 }
 
 /// Phase 3: dead actuator — no shedding at all under 4× overload, so
 /// the backlog (and the delay) grows while `α` stays pinned at 0.
-pub fn run_saturation(run: Duration) -> PhaseOutcome {
+pub fn run_saturation(run: Duration, seed: u64) -> PhaseOutcome {
     let rate = 4.0 * CAPACITY_PER_SHARD * SHARDS as f64;
-    run_phase("saturation", NoShedding, rate, run, &flight_dir("saturation"))
+    run_phase("saturation", NoShedding, rate, run, &flight_dir("saturation"), seed)
 }
 
 /// Summarises one phase into figure summary entries.
@@ -284,12 +286,13 @@ fn summarize(out: &mut Vec<(String, f64)>, notes: &mut Vec<String>, p: &PhaseOut
     ));
 }
 
-/// Runs all three phases and assembles the figure.
-pub fn run() -> FigureResult {
+/// Runs all three phases and assembles the figure. The CLI `--seed`
+/// arrives here and seeds each phase engine's entry shedder.
+pub fn run(seed: u64) -> FigureResult {
     let phases = [
-        run_nominal(Duration::from_secs(3)),
-        run_oscillation(Duration::from_secs(2)),
-        run_saturation(Duration::from_millis(2500)),
+        run_nominal(Duration::from_secs(3), seed),
+        run_oscillation(Duration::from_secs(2), seed),
+        run_saturation(Duration::from_millis(2500), seed),
     ];
     let series = phases
         .iter()
@@ -343,7 +346,7 @@ mod tests {
     /// flight bundle is written.
     #[test]
     fn nominal_run_is_healthy_with_live_endpoints() {
-        let p = run_nominal(Duration::from_secs(3));
+        let p = run_nominal(Duration::from_secs(3), 7);
         assert_endpoints_live(&p);
         assert_eq!(p.health_status, 200, "nominal /health");
         assert_eq!(p.anomalies, 0, "nominal run flagged an anomaly: {p:?}");
@@ -358,7 +361,7 @@ mod tests {
     /// produces a flight bundle, with the endpoints live throughout.
     #[test]
     fn oscillation_is_flagged_within_budget_with_flight_bundle() {
-        let p = run_oscillation(Duration::from_secs(2));
+        let p = run_oscillation(Duration::from_secs(2), 7);
         assert_endpoints_live(&p);
         let latency = p.detect_latency_periods.expect("oscillation never flagged");
         assert!(latency <= DETECT_BUDGET, "flagged after {latency} periods: {p:?}");
@@ -370,7 +373,7 @@ mod tests {
     /// periods of the first band violation, with a flight bundle.
     #[test]
     fn saturation_is_flagged_within_budget_with_flight_bundle() {
-        let p = run_saturation(Duration::from_millis(2500));
+        let p = run_saturation(Duration::from_millis(2500), 7);
         assert_endpoints_live(&p);
         let latency = p.detect_latency_periods.expect("saturation never flagged");
         assert!(latency <= DETECT_BUDGET, "flagged after {latency} periods: {p:?}");

@@ -60,9 +60,118 @@ where
         .collect()
 }
 
+/// What happened to one isolated task.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TaskOutcome<T> {
+    /// The task returned normally.
+    Done(T),
+    /// The task panicked; the payload is the panic message (or a
+    /// placeholder when the payload was not a string).
+    Panicked(String),
+    /// The task did not finish within the deadline.
+    TimedOut,
+}
+
+impl<T> TaskOutcome<T> {
+    /// The result, if the task completed.
+    pub fn ok(self) -> Option<T> {
+        match self {
+            TaskOutcome::Done(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// One word describing the outcome, for failure tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TaskOutcome::Done(_) => "done",
+            TaskOutcome::Panicked(_) => "panicked",
+            TaskOutcome::TimedOut => "timed out",
+        }
+    }
+}
+
+/// Renders a caught panic payload as a message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic (non-string payload)".to_string()
+    }
+}
+
+/// Like [`run_indexed`], but each task runs on its own detached thread
+/// with a `timeout` and panic isolation: one misbehaving scenario
+/// cannot take down (or stall) the whole campaign.
+///
+/// * A panicking task yields [`TaskOutcome::Panicked`] with the message;
+///   the other tasks are unaffected.
+/// * A task that exceeds `timeout` yields [`TaskOutcome::TimedOut`].
+///   Its thread is **abandoned, not killed** — it keeps running detached
+///   until the process exits — so timeouts should be sized as a
+///   last-resort backstop, not a pacing mechanism.
+/// * At most `jobs` tasks are in flight at once; results come back in
+///   index order, as with [`run_indexed`].
+pub fn run_isolated<T, F>(
+    n: usize,
+    jobs: usize,
+    timeout: std::time::Duration,
+    f: F,
+) -> Vec<TaskOutcome<T>>
+where
+    T: Send + 'static,
+    F: Fn(usize) -> T + Send + Sync + 'static,
+{
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::mpsc;
+    use std::sync::Arc;
+
+    let jobs = jobs.max(1).min(n.max(1));
+    let f = Arc::new(f);
+    let next = Arc::new(AtomicUsize::new(0));
+    let slots: Vec<Mutex<Option<TaskOutcome<T>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..jobs {
+            let f = Arc::clone(&f);
+            let next = Arc::clone(&next);
+            let slots = &slots;
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let (tx, rx) = mpsc::channel();
+                let task = Arc::clone(&f);
+                // Detached: if it wedges past the deadline, we abandon it.
+                std::thread::spawn(move || {
+                    let out = catch_unwind(AssertUnwindSafe(|| task(i)));
+                    let _ = tx.send(out);
+                });
+                let outcome = match rx.recv_timeout(timeout) {
+                    Ok(Ok(v)) => TaskOutcome::Done(v),
+                    Ok(Err(payload)) => TaskOutcome::Panicked(panic_message(payload)),
+                    Err(_) => TaskOutcome::TimedOut,
+                };
+                *slots[i].lock().unwrap() = Some(outcome);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .unwrap()
+                .expect("every index is claimed exactly once")
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     #[test]
     fn results_come_back_in_index_order() {
@@ -97,5 +206,50 @@ mod tests {
     #[test]
     fn default_jobs_is_positive() {
         assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    fn isolated_tasks_survive_a_panicking_neighbour() {
+        let out = run_isolated(5, 2, Duration::from_secs(10), |i| {
+            if i == 2 {
+                panic!("scenario {i} exploded");
+            }
+            i * 10
+        });
+        assert_eq!(out.len(), 5);
+        for (i, o) in out.iter().enumerate() {
+            match (i, o) {
+                (2, TaskOutcome::Panicked(msg)) => {
+                    assert!(msg.contains("scenario 2 exploded"), "{msg}")
+                }
+                (2, other) => panic!("index 2 should panic, got {}", other.label()),
+                (_, TaskOutcome::Done(v)) => assert_eq!(*v, i * 10),
+                (_, other) => panic!("index {i} should complete, got {}", other.label()),
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_tasks_time_out_without_stalling_the_rest() {
+        let out = run_isolated(4, 4, Duration::from_millis(200), |i| {
+            if i == 1 {
+                std::thread::sleep(Duration::from_secs(30));
+            }
+            i
+        });
+        assert_eq!(out[1], TaskOutcome::TimedOut);
+        for i in [0usize, 2, 3] {
+            assert_eq!(out[i], TaskOutcome::Done(i), "index {i}");
+        }
+    }
+
+    #[test]
+    fn isolated_matches_indexed_on_well_behaved_tasks() {
+        let plain = run_indexed(12, 3, |i| i as u64 * 7);
+        let isolated: Vec<u64> = run_isolated(12, 3, Duration::from_secs(10), |i| i as u64 * 7)
+            .into_iter()
+            .map(|o| o.ok().expect("all tasks complete"))
+            .collect();
+        assert_eq!(plain, isolated);
     }
 }

@@ -55,7 +55,9 @@ pub struct ShardRun {
 }
 
 /// Runs the CTRL strategy on a sharded engine and measures convergence.
-pub fn run_once(shards: usize) -> ShardRun {
+/// `seed` drives the front-door entry shedder, so the sampling side of
+/// the run replays for a given `--seed` (wall-clock pacing still varies).
+pub fn run_once(shards: usize, seed: u64) -> ShardRun {
     let cfg = ShardConfig {
         shards,
         cost: COST,
@@ -66,6 +68,7 @@ pub fn run_once(shards: usize) -> ShardRun {
         panic_on_tuple: None,
         cost_model: CostModel::Sleep,
         dispatch: Dispatch::RoundRobin,
+        seed,
     };
     // The controller is the unchanged pole-placement loop; only its cost
     // prior reflects the aggregate plant (c/N — the engine's measured
@@ -124,9 +127,10 @@ pub fn run_once(shards: usize) -> ShardRun {
 }
 
 /// Regenerates the sharded-convergence scenario: 1 shard vs 4 shards,
-/// same controller, same target.
-pub fn run() -> FigureResult {
-    let runs: Vec<ShardRun> = [1usize, 4].iter().map(|&s| run_once(s)).collect();
+/// same controller, same target. The CLI `--seed` arrives here and
+/// seeds each engine's entry shedder.
+pub fn run(seed: u64) -> FigureResult {
+    let runs: Vec<ShardRun> = [1usize, 4].iter().map(|&s| run_once(s, seed)).collect();
     let series = runs
         .iter()
         .map(|r| {
@@ -185,7 +189,7 @@ mod tests {
     #[test]
     fn one_and_four_shards_converge_to_the_same_target() {
         for shards in [1usize, 4] {
-            let r = run_once(shards);
+            let r = run_once(shards, 7);
             assert!(r.balanced, "counters must balance: {r:?}");
             assert!(
                 r.steady_delay_ms.is_finite(),

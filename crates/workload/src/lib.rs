@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod catalog;
 pub mod combine;
 pub mod cost;
 pub mod mmpp;
@@ -31,6 +32,7 @@ pub mod step;
 pub mod tracefile;
 pub mod web;
 
+pub use catalog::WorkloadKind;
 pub use combine::{Overlay, Splice, Thin, TimeScale};
 pub use cost::CostTrace;
 pub use mmpp::{MmppState, MmppTrace};
