@@ -240,6 +240,10 @@ fn measure_plane_record(n: u64) -> f64 {
         hook_ns: 1_000,
         shards: 1,
         shard_queues: [0; MAX_TRACE_SHARDS],
+        adapt_cost_us: f64::NAN,
+        adapt_generation: 0,
+        adapt_swaps: 0,
+        adapt_arm: -1,
     };
     let t0 = Instant::now();
     for k in 0..n {

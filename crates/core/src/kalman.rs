@@ -93,6 +93,11 @@ pub enum CostTracker {
     Ewma(crate::estimator::CostEstimator),
     /// Scalar Kalman filter.
     Kalman(KalmanCostEstimator),
+    /// A constant prior that ignores every measurement, µs. This is the
+    /// paper's implicit assumption made explicit: the offline-identified
+    /// cost stays true forever. Exists so experiments can demonstrate what
+    /// happens when it doesn't (`reproduce adaptive`).
+    Frozen(f64),
 }
 
 impl CostTracker {
@@ -101,6 +106,7 @@ impl CostTracker {
         match self {
             CostTracker::Ewma(e) => e.update(measured_us),
             CostTracker::Kalman(k) => k.update(measured_us),
+            CostTracker::Frozen(c) => *c,
         }
     }
 
@@ -109,6 +115,7 @@ impl CostTracker {
         match self {
             CostTracker::Ewma(e) => e.current_us(),
             CostTracker::Kalman(k) => k.current_us(),
+            CostTracker::Frozen(c) => *c,
         }
     }
 }
@@ -121,6 +128,8 @@ pub enum CostTrackerKind {
     Ewma,
     /// Kalman with [`KalmanCostEstimator::with_defaults`] tuning.
     Kalman,
+    /// Frozen at the config's prior cost — measurements are ignored.
+    Frozen,
 }
 
 #[cfg(test)]
@@ -219,5 +228,13 @@ mod tests {
         assert_eq!(t.current_us(), v);
         let mut e = CostTracker::Ewma(crate::estimator::CostEstimator::new(5000.0, 0.5));
         assert_eq!(e.update(Some(6000.0)), 5500.0);
+    }
+
+    #[test]
+    fn frozen_tracker_ignores_measurements() {
+        let mut f = CostTracker::Frozen(5000.0);
+        assert_eq!(f.update(Some(20_000.0)), 5000.0);
+        assert_eq!(f.update(None), 5000.0);
+        assert_eq!(f.current_us(), 5000.0);
     }
 }

@@ -14,7 +14,11 @@
 //!   (Eq. 13) and in-network load `Ls = Lq + Li − La` (§4.5.2);
 //! * [`strategy`] — the three evaluated strategies: `CTRL`, `BASELINE`,
 //!   `AURORA` (§5);
-//! * [`loop_`] — shared loop configuration and signal logging.
+//! * [`loop_`] — shared loop configuration and signal logging;
+//! * [`adaptive`] — the self-tuning plane: online re-identification,
+//!   gain-scheduled pole placement with bumpless transfer, and the
+//!   model-free comparator (the conclusion's adaptive-control
+//!   follow-up).
 //!
 //! ```
 //! use streamshed_control::loop_::LoopConfig;
@@ -37,7 +41,7 @@
 //! assert_eq!(ctrl.name(), "CTRL");
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod adaptive;
@@ -52,7 +56,7 @@ pub mod shedder;
 pub mod strategy;
 pub mod supervisor;
 
-pub use adaptive::{AdaptiveCtrlStrategy, RlsEstimator};
+pub use adaptive::{AdaptiveCtrlStrategy, ComparatorStrategy, GainScheduler, RlsEstimator};
 pub use controller::FeedbackController;
 pub use estimator::{CostEstimator, DelayEstimator};
 pub use kalman::{CostTracker, CostTrackerKind, KalmanCostEstimator};

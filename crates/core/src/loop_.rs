@@ -81,6 +81,9 @@ impl LoopConfig {
             crate::kalman::CostTrackerKind::Kalman => crate::kalman::CostTracker::Kalman(
                 crate::kalman::KalmanCostEstimator::with_defaults(self.prior_cost_us),
             ),
+            crate::kalman::CostTrackerKind::Frozen => {
+                crate::kalman::CostTracker::Frozen(self.prior_cost_us)
+            }
         }
     }
 

@@ -21,7 +21,7 @@ use streamshed_engine::telemetry::{ControlState, InstrumentedHook, LoopMode};
 
 /// Maps a strategy's most recent [`SignalRow`] to the engine's
 /// telemetry [`ControlState`] (strategies acting alone run `Direct`).
-fn state_from_signals(signals: &[SignalRow]) -> Option<ControlState> {
+pub(crate) fn state_from_signals(signals: &[SignalRow]) -> Option<ControlState> {
     signals.last().map(|r| ControlState {
         y_hat_s: r.y_hat_s,
         error_s: r.error_s,
@@ -39,6 +39,15 @@ pub trait SheddingStrategy: ControlHook {
 
     /// Internal signal log, one row per period.
     fn signals(&self) -> &[SignalRow];
+
+    /// Returns `true` (and clears the flag) when the strategy re-tuned
+    /// its controller since the last call. A supervisor uses this to
+    /// rate-limit the actuation for a couple of periods after a
+    /// parameter swap — defence in depth on top of the strategy's own
+    /// bumpless transfer. Non-adaptive strategies never re-tune.
+    fn take_retune(&mut self) -> bool {
+        false
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -53,6 +62,13 @@ pub struct CtrlStrategy {
     delay: DelayEstimator,
     controller: FeedbackController,
     target_s: f64,
+    /// When set, the loop gain `H/(c·T)` is computed from this cost
+    /// forever — a design-time tuning that is never re-derived. The
+    /// delay estimate still follows the live cost tracker, so the loop
+    /// gain seen by the plant scales with `c_live/c_frozen`: the
+    /// textbook gain-mismatch instability the self-tuning plane exists
+    /// to prevent.
+    gain_cost_us: Option<f64>,
     signals: Vec<SignalRow>,
 }
 
@@ -64,9 +80,21 @@ impl CtrlStrategy {
             delay: DelayEstimator::new(cfg.headroom),
             controller: FeedbackController::new(cfg.controller),
             target_s: cfg.target_delay_s(),
+            gain_cost_us: None,
             signals: Vec::new(),
             cfg: cfg.clone(),
         }
+    }
+
+    /// Freezes the controller's gain conversion at `cost_us` — the
+    /// "fixed tuning" arm of the self-tuning experiments. The delay
+    /// estimator keeps using the live cost tracker; only the
+    /// seconds-to-rate gain stays pinned at its design-time value, so a
+    /// per-tuple cost that doubles doubles the effective loop gain.
+    pub fn with_frozen_gain_at(mut self, cost_us: f64) -> Self {
+        assert!(cost_us > 0.0 && cost_us.is_finite());
+        self.gain_cost_us = Some(cost_us);
+        self
     }
 
     /// Paper-default CTRL (yd = 2 s, T = 1 s, published tuning).
@@ -97,7 +125,9 @@ impl ControlHook for CtrlStrategy {
         let y_hat = self.delay.estimate_delay_s(snap.outstanding, c_us);
         let e = self.target_s - y_hat;
 
-        let u = self.controller.compute(e, c_s, period_s, h);
+        // Frozen-gain arm: the rate conversion stays at the design cost.
+        let gain_c_s = self.gain_cost_us.map_or(c_s, |c| c / 1e6);
+        let u = self.controller.compute(e, gain_c_s, period_s, h);
         let fout = snap.fout_rate();
         let v = u + fout;
 

@@ -392,6 +392,13 @@ impl<S: SheddingStrategy + Clone> ControlHook for Supervisor<S> {
                     sanitised.measured_cost_us = cost;
                     sanitised.mean_delay_ms = delay_ms;
                     let d = self.inner.on_period(&sanitised);
+                    // A self-tuning inner strategy just swapped its
+                    // controller parameters: rate-limit the next couple
+                    // of periods even though the swap itself was
+                    // bumpless.
+                    if self.inner.take_retune() {
+                        self.ramp = self.ramp.max(2);
+                    }
                     let ramping = self.ramp > 0;
                     self.ramp = self.ramp.saturating_sub(1);
                     return self.sanitise(d, ramping);
@@ -449,6 +456,12 @@ impl<S: SheddingStrategy + Clone + InstrumentedHook> InstrumentedHook for Superv
         };
         st.mode = mode;
         Some(st)
+    }
+
+    /// Forwards the inner strategy's self-tuning state (if any) so the
+    /// adaptive telemetry survives supervision.
+    fn adapt_state(&self) -> Option<streamshed_engine::telemetry::AdaptState> {
+        self.inner.adapt_state()
     }
 }
 

@@ -288,6 +288,18 @@ pub struct DiagnosticsSnapshot {
     pub first_anomaly_k: Option<u64>,
     /// Periods spent in each state, ordinal order.
     pub periods_in_state: [u64; 5],
+    /// True once any observed trace carried self-tuning state (the
+    /// `streamshed_adapt_*` families render only then).
+    pub adapt_seen: bool,
+    /// Last re-identified per-tuple cost `ĉ`, µs (`NaN` when the loop
+    /// has no adaptive layer).
+    pub adapt_cost_est_us: f64,
+    /// Last gain generation of the adaptive layer.
+    pub adapt_generation: u64,
+    /// Total bumpless parameter swaps reported.
+    pub adapt_swaps: u64,
+    /// Active comparator arm (−1 = no comparator).
+    pub adapt_arm: i64,
     /// The most recent transitions (oldest first).
     pub recent_events: Vec<DiagEvent>,
 }
@@ -372,6 +384,8 @@ impl DiagnosticsSnapshot {
              \"hold_periods\":{},\"fallback_periods\":{},\
              \"mode_transitions\":{},\"faulted_periods\":{},\
              \"transitions\":{},\"anomalies\":{},\"first_anomaly_k\":{},\
+             \"adapt_cost_est_us\":{},\"adapt_generation\":{},\
+             \"adapt_swaps\":{},\"adapt_arm\":{},\
              \"periods_in_state\":{{{}}},\"recent_events\":[{}]}}",
             self.state.as_str(),
             self.ok(),
@@ -407,6 +421,10 @@ impl DiagnosticsSnapshot {
             self.first_anomaly_k
                 .map(|k| k.to_string())
                 .unwrap_or_else(|| "null".into()),
+            num(self.adapt_cost_est_us),
+            self.adapt_generation,
+            self.adapt_swaps,
+            self.adapt_arm,
             in_state,
             events,
         )
@@ -522,13 +540,38 @@ impl DiagnosticsSnapshot {
             "Periods with any fault flag set",
             self.faulted_periods as f64,
         );
+        // Self-tuning families only render once an adaptive layer has
+        // reported state — non-adaptive loops keep the exposition clean.
+        if self.adapt_seen {
+            p.gauge(
+                "adapt_cost_est_us",
+                "Re-identified per-tuple cost estimate in force, microseconds",
+                self.adapt_cost_est_us,
+            )
+            .gauge(
+                "adapt_gain_generation",
+                "Gain generation of the self-tuning controller (0 = initial design)",
+                self.adapt_generation as f64,
+            )
+            .counter(
+                "adapt_swaps_total",
+                "Bumpless controller parameter swaps performed",
+                self.adapt_swaps as f64,
+            )
+            .gauge(
+                "adapt_comparator_arm",
+                "Active model-free comparator arm index (-1 = no comparator)",
+                self.adapt_arm as f64,
+            );
+        }
     }
 }
 
 /// The online controller-health engine. Feed it one [`ControlTrace`]
 /// per period via [`ControllerHealth::observe`]; read the verdict via
-/// [`ControllerHealth::snapshot`].
-#[derive(Debug)]
+/// [`ControllerHealth::snapshot`]. `Clone` so a strategy can embed a
+/// private scorer (the model-free comparator keeps one per probe arm).
+#[derive(Debug, Clone)]
 pub struct ControllerHealth {
     cfg: DiagnosticsConfig,
     state: HealthState,
@@ -571,6 +614,12 @@ pub struct ControllerHealth {
     fallback_periods: u64,
     mode_transitions: u64,
     faulted_periods: u64,
+    // Self-tuning state mirrored from the traces.
+    adapt_seen: bool,
+    adapt_cost_us: f64,
+    adapt_generation: u64,
+    adapt_swaps: u64,
+    adapt_arm: i64,
     // State machine bookkeeping.
     transitions: u64,
     anomalies: u64,
@@ -623,6 +672,11 @@ impl ControllerHealth {
             fallback_periods: 0,
             mode_transitions: 0,
             faulted_periods: 0,
+            adapt_seen: false,
+            adapt_cost_us: f64::NAN,
+            adapt_generation: 0,
+            adapt_swaps: 0,
+            adapt_arm: -1,
             transitions: 0,
             anomalies: 0,
             first_anomaly_k: None,
@@ -779,6 +833,15 @@ impl ControllerHealth {
             self.faulted_periods += 1;
         }
 
+        // --- Self-tuning state mirror ----------------------------------
+        if trace.adapt_cost_us.is_finite() || trace.adapt_arm >= 0 {
+            self.adapt_seen = true;
+            self.adapt_cost_us = trace.adapt_cost_us;
+            self.adapt_generation = trace.adapt_generation;
+            self.adapt_swaps = trace.adapt_swaps;
+            self.adapt_arm = trace.adapt_arm;
+        }
+
         // --- Classification --------------------------------------------
         let new_state = if self.violation_streak > self.cfg.grace_periods {
             HealthState::Diverging
@@ -906,6 +969,11 @@ impl ControllerHealth {
             anomalies: self.anomalies,
             first_anomaly_k: self.first_anomaly_k,
             periods_in_state: self.periods_in_state,
+            adapt_seen: self.adapt_seen,
+            adapt_cost_est_us: self.adapt_cost_us,
+            adapt_generation: self.adapt_generation,
+            adapt_swaps: self.adapt_swaps,
+            adapt_arm: self.adapt_arm,
             recent_events: self.events.to_vec(),
         }
     }
@@ -1167,6 +1235,42 @@ mod tests {
         assert!(text.contains("streamshed_diag_state_info{state=\"saturated\"} 1"));
         assert!(text.contains("# TYPE streamshed_diag_anomalies_total counter"));
         assert!(text.contains("streamshed_diag_periods_total 4"));
+    }
+
+    #[test]
+    fn adaptive_state_mirrors_into_snapshot_json_and_prom() {
+        let mut h = ControllerHealth::new(cfg());
+        // A plain trace leaves the adapt families dark.
+        h.observe(&trace(0, TARGET, 0.3));
+        let s = h.snapshot();
+        assert!(!s.adapt_seen);
+        assert!(s.adapt_cost_est_us.is_nan());
+        let mut p = PromText::new("streamshed");
+        s.render_prom(&mut p);
+        assert!(!p.finish().contains("streamshed_adapt_"));
+        assert!(s.to_json().contains("\"adapt_cost_est_us\":null"));
+
+        // An adaptive trace lights them up.
+        let mut t = trace(1, TARGET, 0.3);
+        t.adapt_cost_us = 10_210.5;
+        t.adapt_generation = 2;
+        t.adapt_swaps = 3;
+        t.adapt_arm = 1;
+        h.observe(&t);
+        let s = h.snapshot();
+        assert!(s.adapt_seen);
+        assert_eq!(s.adapt_cost_est_us, 10_210.5);
+        assert_eq!(s.adapt_generation, 2);
+        assert_eq!(s.adapt_swaps, 3);
+        assert_eq!(s.adapt_arm, 1);
+        let mut p = PromText::new("streamshed");
+        s.render_prom(&mut p);
+        let text = p.finish();
+        assert!(text.contains("streamshed_adapt_cost_est_us 10210.5"), "{text}");
+        assert!(text.contains("streamshed_adapt_gain_generation 2"));
+        assert!(text.contains("streamshed_adapt_swaps_total 3"));
+        assert!(text.contains("streamshed_adapt_comparator_arm 1"));
+        assert!(s.to_json().contains("\"adapt_swaps\":3"));
     }
 
     #[test]

@@ -308,6 +308,7 @@ impl RtEngine {
                     let mut p = PromText::new("streamshed");
                     render_prometheus(&shared, &work, &mut p);
                     diag_plane.health().render_prom(&mut p);
+                    diag_plane.render_adapt_prom(&mut p);
                     p.finish()
                 });
                 Some(ObsServer::start(http.clone(), plane.clone(), metrics)?)
@@ -380,6 +381,7 @@ impl RtEngine {
         render_prometheus(&self.shared, &self.work, &mut p);
         if let Some(obs) = &self.obs {
             obs.plane.health().render_prom(&mut p);
+            obs.plane.render_adapt_prom(&mut p);
         }
         p.finish()
     }

@@ -316,6 +316,7 @@ impl ShardedEngine {
                     let mut p = PromText::new("streamshed");
                     render_prometheus(&global, &views, &mut p);
                     diag_plane.health().render_prom(&mut p);
+                    diag_plane.render_adapt_prom(&mut p);
                     p.finish()
                 });
                 Some(ObsServer::start(http.clone(), plane.clone(), metrics)?)
@@ -483,6 +484,7 @@ impl ShardedEngine {
                         let state = hook.control_state();
                         let trace =
                             ControlTrace::capture(&snapshot, &decision, state.as_ref(), hook_ns)
+                                .with_adapt(hook.adapt_state())
                                 .with_shard_queues(&queues);
                         rec.record(&trace);
                     }
@@ -585,6 +587,7 @@ impl ShardedEngine {
         render_prometheus(&self.global, &views, &mut p);
         if let Some(obs) = &self.obs {
             obs.plane.health().render_prom(&mut p);
+            obs.plane.render_adapt_prom(&mut p);
         }
         p.finish()
     }

@@ -207,6 +207,26 @@ impl Default for ControlState {
     }
 }
 
+/// Self-tuning (re-identification) state reported by an adaptive hook
+/// after each period — the quantities the `streamshed_adapt_*` metric
+/// families and the `adapt_*` trace columns carry.
+///
+/// Non-adaptive hooks never produce one; the exporters render the
+/// absent state as `NaN`/`null` cost, zero counters, and arm `−1`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdaptState {
+    /// Current re-identified per-tuple cost estimate `ĉ`, µs.
+    pub cost_est_us: f64,
+    /// Gain generation: how many tunings this loop has lived through
+    /// (0 = still on the initial design).
+    pub generation: u64,
+    /// Total bumpless parameter swaps performed (gain-schedule snaps
+    /// plus comparator arm changes).
+    pub swaps: u64,
+    /// Active comparator arm index (−1 when no comparator is running).
+    pub arm: i64,
+}
+
 /// A [`ControlHook`] that can report its internal state after each
 /// period.
 ///
@@ -217,6 +237,12 @@ impl Default for ControlState {
 pub trait InstrumentedHook: ControlHook {
     /// The internal signals of the most recent `on_period` call, if any.
     fn control_state(&self) -> Option<ControlState> {
+        None
+    }
+
+    /// The self-tuning state of the most recent period, if this hook
+    /// adapts its own tuning (default: it does not).
+    fn adapt_state(&self) -> Option<AdaptState> {
         None
     }
 }
@@ -290,6 +316,15 @@ pub struct ControlTrace {
     pub fault_flags: u16,
     /// Wall-clock time spent inside the hook this period, nanoseconds.
     pub hook_ns: u64,
+    /// Re-identified per-tuple cost `ĉ`, µs (`NaN` = no adaptive layer).
+    pub adapt_cost_us: f64,
+    /// Gain generation of the adaptive layer (0 = initial design or no
+    /// adaptive layer).
+    pub adapt_generation: u64,
+    /// Total bumpless parameter swaps so far (0 when not adapting).
+    pub adapt_swaps: u64,
+    /// Active comparator arm (−1 = no comparator).
+    pub adapt_arm: i64,
     /// Number of data-plane shards behind this record (0 = a
     /// non-sharded runner).
     pub shards: u32,
@@ -333,6 +368,10 @@ impl ControlTrace {
             mode: s.mode,
             fault_flags: s.fault_flags,
             hook_ns,
+            adapt_cost_us: f64::NAN,
+            adapt_generation: 0,
+            adapt_swaps: 0,
+            adapt_arm: -1,
             shards: 0,
             shard_queues: [0; MAX_TRACE_SHARDS],
         }
@@ -347,6 +386,29 @@ impl ControlTrace {
             *slot = q;
         }
         self
+    }
+
+    /// Attaches the self-tuning state of an adaptive hook (no-op for
+    /// `None`, keeping the columns at their inert defaults).
+    pub fn with_adapt(mut self, state: Option<AdaptState>) -> Self {
+        if let Some(a) = state {
+            self.adapt_cost_us = a.cost_est_us;
+            self.adapt_generation = a.generation;
+            self.adapt_swaps = a.swaps;
+            self.adapt_arm = a.arm;
+        }
+        self
+    }
+
+    /// Whether the record carries self-tuning state (i.e. was produced
+    /// by a hook whose [`InstrumentedHook::adapt_state`] returned
+    /// `Some`). All four `adapt_*` columns sit at their inert defaults
+    /// otherwise.
+    pub fn has_adapt(&self) -> bool {
+        self.adapt_cost_us.is_finite()
+            || self.adapt_arm >= 0
+            || self.adapt_generation > 0
+            || self.adapt_swaps > 0
     }
 
     /// One JSON object on a single line (JSONL). `NaN` fields render as
@@ -378,7 +440,9 @@ impl ControlTrace {
              \"measured_cost_us\":{},\"mean_delay_ms\":{},\"cpu_busy_us\":{},\
              \"alpha\":{},\"shed_load_us\":{},\"y_hat_s\":{},\"error_s\":{},\
              \"u_tps\":{},\"cost_est_us\":{},\"mode\":\"{}\",\"fault_flags\":{},\
-             \"hook_ns\":{},\"shards\":{},\"shard_queues\":[{}]}}",
+             \"hook_ns\":{},\"adapt_cost_us\":{},\"adapt_generation\":{},\
+             \"adapt_swaps\":{},\"adapt_arm\":{},\"shards\":{},\
+             \"shard_queues\":[{}]}}",
             self.k,
             num(self.time_s),
             num(self.period_s),
@@ -402,6 +466,10 @@ impl ControlTrace {
             self.mode.as_str(),
             self.fault_flags,
             self.hook_ns,
+            num(self.adapt_cost_us),
+            self.adapt_generation,
+            self.adapt_swaps,
+            self.adapt_arm,
             self.shards,
             shard_queues,
         )
@@ -413,7 +481,8 @@ impl ControlTrace {
         "k,time_s,period_s,offered,admitted,dropped_entry,dropped_network,\
          completed,outstanding,queued_tuples,queued_load_us,measured_cost_us,\
          mean_delay_ms,cpu_busy_us,alpha,shed_load_us,y_hat_s,error_s,u_tps,\
-         cost_est_us,mode,fault_flags,hook_ns,shards,\
+         cost_est_us,mode,fault_flags,hook_ns,adapt_cost_us,adapt_generation,\
+         adapt_swaps,adapt_arm,shards,\
          shard_q0,shard_q1,shard_q2,shard_q3,shard_q4,shard_q5,shard_q6,shard_q7"
     }
 
@@ -422,7 +491,7 @@ impl ControlTrace {
         let q = &self.shard_queues;
         format!(
             "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},\
-             {},{},{},{},{},{},{},{}",
+             {},{},{},{},{},{},{},{},{},{},{},{}",
             self.k,
             self.time_s,
             self.period_s,
@@ -446,6 +515,10 @@ impl ControlTrace {
             self.mode.as_str(),
             self.fault_flags,
             self.hook_ns,
+            self.adapt_cost_us,
+            self.adapt_generation,
+            self.adapt_swaps,
+            self.adapt_arm,
             self.shards,
             q[0],
             q[1],
@@ -836,7 +909,8 @@ impl<H: InstrumentedHook, S: EventSink> ControlHook for TracingHook<H, S> {
         let decision = self.inner.on_period(snapshot);
         let hook_ns = t0.elapsed().as_nanos() as u64;
         let state = self.inner.control_state();
-        let trace = ControlTrace::capture(snapshot, &decision, state.as_ref(), hook_ns);
+        let trace = ControlTrace::capture(snapshot, &decision, state.as_ref(), hook_ns)
+            .with_adapt(self.inner.adapt_state());
         self.sink.record(&trace);
         self.sink.record_span(SpanKind::Hook, hook_ns);
         decision
@@ -846,6 +920,10 @@ impl<H: InstrumentedHook, S: EventSink> ControlHook for TracingHook<H, S> {
 impl<H: InstrumentedHook, S: EventSink> InstrumentedHook for TracingHook<H, S> {
     fn control_state(&self) -> Option<ControlState> {
         self.inner.control_state()
+    }
+
+    fn adapt_state(&self) -> Option<AdaptState> {
+        self.inner.adapt_state()
     }
 }
 
@@ -1230,6 +1308,45 @@ mod tests {
             .with_shard_queues(&[1; MAX_TRACE_SHARDS + 4]);
         assert_eq!(wide.shards as usize, MAX_TRACE_SHARDS + 4);
         assert_eq!(wide.shard_queues, [1; MAX_TRACE_SHARDS]);
+    }
+
+    #[test]
+    fn adapt_state_flows_through_exporters() {
+        struct Adapting;
+        impl ControlHook for Adapting {
+            fn on_period(&mut self, _s: &PeriodSnapshot) -> Decision {
+                Decision::entry(0.1)
+            }
+        }
+        impl InstrumentedHook for Adapting {
+            fn adapt_state(&self) -> Option<AdaptState> {
+                Some(AdaptState {
+                    cost_est_us: 10_210.5,
+                    generation: 2,
+                    swaps: 3,
+                    arm: 1,
+                })
+            }
+        }
+        let mut hook = TracingHook::new(Adapting, 8);
+        let _ = hook.on_period(&snap(0));
+        let t = hook.recorder().to_vec()[0];
+        assert_eq!(t.adapt_cost_us, 10_210.5);
+        assert_eq!(t.adapt_generation, 2);
+        assert_eq!(t.adapt_swaps, 3);
+        assert_eq!(t.adapt_arm, 1);
+        let line = t.to_jsonl();
+        assert!(line.contains("\"adapt_cost_us\":10210.5"), "{line}");
+        assert!(line.contains("\"adapt_generation\":2"), "{line}");
+        assert!(line.contains("\"adapt_swaps\":3"), "{line}");
+        assert!(line.contains("\"adapt_arm\":1"), "{line}");
+
+        // Non-adaptive hooks keep the columns inert: null cost, arm −1.
+        let plain = ControlTrace::capture(&snap(0), &Decision::NONE, None, 1);
+        assert!(plain.adapt_cost_us.is_nan());
+        assert_eq!(plain.adapt_arm, -1);
+        assert!(plain.to_jsonl().contains("\"adapt_cost_us\":null"));
+        assert!(plain.to_jsonl().contains("\"adapt_arm\":-1"));
     }
 
     #[test]

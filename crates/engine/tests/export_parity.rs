@@ -65,11 +65,18 @@ fn arb_trace() -> impl Strategy<Value = ControlTrace> {
         (0u64..4_000_000_000),                                 // hook_ns
         proptest::collection::vec(0u64..1_000_000u64, 0..=12), // shard queues
     );
-    (loads, signals, rest).prop_map(
+    let adapt = (
+        sensor_f64(),         // adapt_cost_us
+        (0u64..1_000),        // adapt_generation
+        (0u64..1_000),        // adapt_swaps
+        (-1i64..8),           // adapt_arm
+    );
+    (loads, signals, rest, adapt).prop_map(
         |(
             (k, time_s, period_s, counts, queued_load_us, measured_cost_us),
             (mean_delay_ms, alpha, shed_load_us, y_hat_s, error_s, u_tps),
             (cost_est_us, mode, fault_flags, hook_ns, queues),
+            (adapt_cost_us, adapt_generation, adapt_swaps, adapt_arm),
         )| {
             let base = ControlTrace {
                 k,
@@ -95,6 +102,10 @@ fn arb_trace() -> impl Strategy<Value = ControlTrace> {
                 mode,
                 fault_flags,
                 hook_ns,
+                adapt_cost_us,
+                adapt_generation,
+                adapt_swaps,
+                adapt_arm,
                 shards: 0,
                 shard_queues: [0; MAX_TRACE_SHARDS],
             };
@@ -243,6 +254,10 @@ fn csv_header_and_jsonl_cover_every_struct_field() {
         mode: LoopMode::Engaged,
         fault_flags: 0,
         hook_ns: 321,
+        adapt_cost_us: 10_210.5,
+        adapt_generation: 2,
+        adapt_swaps: 3,
+        adapt_arm: 1,
         shards: 0,
         shard_queues: [0; MAX_TRACE_SHARDS],
     }

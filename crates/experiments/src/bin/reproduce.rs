@@ -146,7 +146,7 @@ fn main() {
                 eprintln!(
                     "usage: reproduce [--out DIR] [--seed N] [--jobs N] [fig5 fig6 fig7 \
                      fig8 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 overhead \
-                     ablations extensions faults sharded monitor | all]\n       \
+                     ablations extensions faults adaptive sharded monitor | all]\n       \
                      reproduce trace --scenario KEY [--out DIR] [--seed N]\n       \
                      reproduce campaign [--lane sanity|stress|full] [--filter GLOB] \
                      [--list] [--sabotage] [--out DIR] [--seed N] [--jobs N]\n       \
@@ -154,6 +154,9 @@ fn main() {
                      shards × controller) with invariant checks; writes \
                      DIR/CAMPAIGN.json; exits non-zero on failures except in the \
                      stress lane\n       \
+                     adaptive: self-tuning control — fixed paper tuning vs the \
+                     gain-scheduled re-identifier and the model-free comparator \
+                     under a doubling cost staircase (seeded, virtual-time)\n       \
                      sharded: wall-clock sharded-engine convergence (1 vs 4 shards); \
                      not part of 'all'\n       \
                      monitor: wall-clock observability-plane self-test (live /metrics, \
@@ -206,6 +209,7 @@ fn main() {
             "ablations".into(),
             "extensions".into(),
             "faults".into(),
+            "adaptive".into(),
         ];
     }
 
@@ -215,7 +219,7 @@ fn main() {
             name.as_str(),
             "fig5" | "fig6" | "fig7" | "fig8" | "fig12" | "fig13" | "fig14" | "fig15"
                 | "fig16" | "fig17" | "fig18" | "fig19" | "overhead" | "ablations"
-                | "extensions" | "faults" | "sharded" | "monitor"
+                | "extensions" | "faults" | "adaptive" | "sharded" | "monitor"
         );
         if !known {
             eprintln!("unknown figure '{name}', skipping");
@@ -246,6 +250,7 @@ fn main() {
             "ablations" => exp::ablations::run(seed),
             "extensions" => exp::extensions::run(seed),
             "faults" => exp::faults::run(seed),
+            "adaptive" => exp::adaptive::run(seed),
             // Wall-clock (not virtual-time): run explicitly, not in
             // "all". --seed drives the entry shedder; pacing stays
             // wall-clock, so runs are seedable but not byte-identical.

@@ -33,6 +33,7 @@
 use crate::parallel::{self, TaskOutcome};
 use serde_json::{json, ToJson, Value};
 use std::time::Duration;
+use streamshed_control::adaptive::{AdaptiveCtrlStrategy, ComparatorStrategy};
 use streamshed_control::loop_::{LoopConfig, ShedMode};
 use streamshed_control::strategy::CtrlStrategy;
 use streamshed_control::supervisor::Supervisor;
@@ -108,9 +109,11 @@ pub const TOPOLOGIES: &[&str] = &["ident", "chain8", "monitoring"];
 pub const SHARD_COUNTS: &[usize] = &[1, 2, 4];
 
 /// Controller axis: paper tuning with the supervisor (`paper`), bare
-/// CTRL without the supervisory layer (`nosup`), and supervised CTRL
-/// actuating the in-network hybrid shedder (`netshed`).
-pub const CONTROLS: &[&str] = &["paper", "nosup", "netshed"];
+/// CTRL without the supervisory layer (`nosup`), supervised CTRL
+/// actuating the in-network hybrid shedder (`netshed`), and the two
+/// supervised self-tuning flavours — the gain-scheduled re-identifier
+/// (`adaptive`) and the model-free hill-climber (`comparator`).
+pub const CONTROLS: &[&str] = &["paper", "nosup", "netshed", "adaptive", "comparator"];
 
 /// One cell of the campaign grid.
 #[derive(Debug, Clone, PartialEq)]
@@ -223,8 +226,9 @@ pub fn sanity_corpus() -> Vec<CellSpec> {
         }
     }
     // Alternative controllers: bare CTRL (invariants relax bounded
-    // delay there) and the supervised network shedder.
-    for control in ["nosup", "netshed"] {
+    // delay there), the supervised network shedder, and both
+    // self-tuning flavours.
+    for control in ["nosup", "netshed", "adaptive", "comparator"] {
         for fault in ["clean", "stale_q"] {
             cells.push(CellSpec {
                 workload: WorkloadKind::Poisson,
@@ -641,9 +645,29 @@ fn run_shard(spec: &CellSpec, seed: u64, sabotage: bool) -> ShardRunStats {
     // says paper tuning — the bounded-delay invariant must catch it.
     let supervised = spec.supervised() && !(sabotage && spec.control == "paper");
     let report = if supervised {
-        let strategy = Supervisor::from_loop(CtrlStrategy::from_config(&loop_cfg), &loop_cfg);
-        let mut hook = TracingHook::shared(FaultyHook::new(strategy, plan), recorder.clone());
-        sim.run(&arrivals, &mut hook, secs(DURATION_S))
+        match spec.control {
+            "adaptive" => {
+                let strategy =
+                    Supervisor::from_loop(AdaptiveCtrlStrategy::from_config(&loop_cfg), &loop_cfg);
+                let mut hook =
+                    TracingHook::shared(FaultyHook::new(strategy, plan), recorder.clone());
+                sim.run(&arrivals, &mut hook, secs(DURATION_S))
+            }
+            "comparator" => {
+                let strategy =
+                    Supervisor::from_loop(ComparatorStrategy::from_config(&loop_cfg), &loop_cfg);
+                let mut hook =
+                    TracingHook::shared(FaultyHook::new(strategy, plan), recorder.clone());
+                sim.run(&arrivals, &mut hook, secs(DURATION_S))
+            }
+            _ => {
+                let strategy =
+                    Supervisor::from_loop(CtrlStrategy::from_config(&loop_cfg), &loop_cfg);
+                let mut hook =
+                    TracingHook::shared(FaultyHook::new(strategy, plan), recorder.clone());
+                sim.run(&arrivals, &mut hook, secs(DURATION_S))
+            }
+        }
     } else {
         let mut hook =
             TracingHook::shared(FaultyHook::new(CtrlStrategy::from_config(&loop_cfg), plan), recorder.clone());

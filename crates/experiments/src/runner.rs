@@ -3,6 +3,7 @@
 //! strategies into a simulation run.
 
 use serde::{Deserialize, Serialize};
+use streamshed_control::adaptive::{AdaptiveCtrlStrategy, ComparatorStrategy};
 use streamshed_control::loop_::{LoopConfig, SignalRow};
 use streamshed_control::strategy::{
     AuroraStrategy, BaselineStrategy, CtrlStrategy, SheddingStrategy,
@@ -28,6 +29,15 @@ pub enum StrategyKind {
     Aurora,
     /// Aurora with an explicitly retuned `L0` headroom (Fig. 16).
     AuroraWithHeadroom(f64),
+    /// The paper tuning with the loop gain frozen at the design-time
+    /// cost (the loop config's prior): the "fixed tuning" arm the
+    /// self-tuning experiments destabilise with cost growth.
+    CtrlFrozenGain,
+    /// The gain-scheduled self-tuning CTRL variant (online cost
+    /// re-identification + bumpless pole-placement re-derivation).
+    Adaptive,
+    /// The model-free comparator (hill-climb over pole-placement arms).
+    Comparator,
     /// No shedding at all (identification runs).
     NoShedding,
 }
@@ -39,6 +49,9 @@ impl StrategyKind {
             StrategyKind::Ctrl => "CTRL",
             StrategyKind::Baseline => "BASELINE",
             StrategyKind::Aurora | StrategyKind::AuroraWithHeadroom(_) => "AURORA",
+            StrategyKind::CtrlFrozenGain => "CTRL-FIXED",
+            StrategyKind::Adaptive => "CTRL-ADAPTIVE",
+            StrategyKind::Comparator => "CTRL-COMPARATOR",
             StrategyKind::NoShedding => "NONE",
         }
     }
@@ -120,6 +133,8 @@ enum AnyStrategy {
     Ctrl(CtrlStrategy),
     Baseline(BaselineStrategy),
     Aurora(AuroraStrategy),
+    Adaptive(AdaptiveCtrlStrategy),
+    Comparator(Box<ComparatorStrategy>),
     None,
 }
 
@@ -128,6 +143,8 @@ impl AnyStrategy {
         match self {
             AnyStrategy::Ctrl(s) => s.set_target_delay_s(yd_s),
             AnyStrategy::Baseline(s) => s.set_target_delay_s(yd_s),
+            AnyStrategy::Adaptive(s) => s.set_target_delay_s(yd_s),
+            AnyStrategy::Comparator(s) => s.set_target_delay_s(yd_s),
             _ => {}
         }
     }
@@ -137,6 +154,8 @@ impl AnyStrategy {
             AnyStrategy::Ctrl(s) => s.on_period(snap),
             AnyStrategy::Baseline(s) => s.on_period(snap),
             AnyStrategy::Aurora(s) => s.on_period(snap),
+            AnyStrategy::Adaptive(s) => s.on_period(snap),
+            AnyStrategy::Comparator(s) => s.on_period(snap),
             AnyStrategy::None => Decision::NONE,
         }
     }
@@ -146,6 +165,8 @@ impl AnyStrategy {
             AnyStrategy::Ctrl(s) => s.signals().to_vec(),
             AnyStrategy::Baseline(s) => s.signals().to_vec(),
             AnyStrategy::Aurora(s) => s.signals().to_vec(),
+            AnyStrategy::Adaptive(s) => s.signals().to_vec(),
+            AnyStrategy::Comparator(s) => s.signals().to_vec(),
             AnyStrategy::None => Vec::new(),
         }
     }
@@ -155,7 +176,17 @@ impl AnyStrategy {
             AnyStrategy::Ctrl(s) => s.control_state(),
             AnyStrategy::Baseline(s) => s.control_state(),
             AnyStrategy::Aurora(s) => s.control_state(),
+            AnyStrategy::Adaptive(s) => s.control_state(),
+            AnyStrategy::Comparator(s) => s.control_state(),
             AnyStrategy::None => None,
+        }
+    }
+
+    fn adapt_state(&self) -> Option<streamshed_engine::telemetry::AdaptState> {
+        match self {
+            AnyStrategy::Adaptive(s) => s.adapt_state(),
+            AnyStrategy::Comparator(s) => s.adapt_state(),
+            _ => None,
         }
     }
 }
@@ -179,6 +210,10 @@ impl ControlHook for ScheduledHook {
 impl InstrumentedHook for ScheduledHook {
     fn control_state(&self) -> Option<ControlState> {
         self.strategy.control_state()
+    }
+
+    fn adapt_state(&self) -> Option<streamshed_engine::telemetry::AdaptState> {
+        self.strategy.adapt_state()
     }
 }
 
@@ -223,6 +258,15 @@ pub fn run_with_strategy(
         StrategyKind::Aurora => AnyStrategy::Aurora(AuroraStrategy::from_config(loop_cfg)),
         StrategyKind::AuroraWithHeadroom(h) => {
             AnyStrategy::Aurora(AuroraStrategy::new(h, loop_cfg.prior_cost_us))
+        }
+        StrategyKind::CtrlFrozenGain => AnyStrategy::Ctrl(
+            CtrlStrategy::from_config(loop_cfg).with_frozen_gain_at(loop_cfg.prior_cost_us),
+        ),
+        StrategyKind::Adaptive => {
+            AnyStrategy::Adaptive(AdaptiveCtrlStrategy::from_config(loop_cfg))
+        }
+        StrategyKind::Comparator => {
+            AnyStrategy::Comparator(Box::new(ComparatorStrategy::from_config(loop_cfg)))
         }
         StrategyKind::NoShedding => AnyStrategy::None,
     };
@@ -314,6 +358,34 @@ mod tests {
         let early: f64 = out.signals[12..18].iter().map(|s| s.y_hat_s).sum::<f64>() / 6.0;
         let late: f64 = out.signals[34..40].iter().map(|s| s.y_hat_s).sum::<f64>() / 6.0;
         assert!(late > early + 1.0, "early {early}, late {late}");
+    }
+
+    #[test]
+    fn adaptive_kinds_run_and_trace_adapt_state() {
+        let times = StepTrace::constant(300.0).arrival_times(30.0);
+        for kind in [StrategyKind::Adaptive, StrategyKind::Comparator] {
+            let out = run_with_strategy(
+                kind,
+                &times,
+                &LoopConfig::paper_default(),
+                30,
+                None,
+                None,
+                1,
+            );
+            assert_eq!(out.signals.len(), 30, "{}", out.name);
+            assert!(out.metrics.loss_ratio > 0.1, "{}", out.name);
+            // The self-tuning state must reach the telemetry plane.
+            let last = out.traces.last().unwrap();
+            assert!(
+                last.adapt_cost_us.is_finite(),
+                "{}: adapt cost missing from traces",
+                out.name
+            );
+            if kind == StrategyKind::Comparator {
+                assert!(last.adapt_arm >= 0, "comparator arm missing");
+            }
+        }
     }
 
     #[test]

@@ -27,7 +27,7 @@ const COST: Duration = Duration::from_millis(2);
 /// Control period of the global controller.
 const PERIOD: Duration = Duration::from_millis(50);
 /// Delay target the controller must converge to, ms.
-const TARGET_MS: f64 = 250.0;
+pub const TARGET_MS: f64 = 250.0;
 /// Wall-clock length of each run.
 const RUN: Duration = Duration::from_secs(6);
 /// Offered load per shard, tuples/s — about 2× a shard's ~500 t/s
@@ -176,37 +176,5 @@ pub fn run(seed: u64) -> FigureResult {
         series,
         summary,
         notes,
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    /// The acceptance bound: both shard counts settle within the figure
-    /// tolerance of the shared target. Wall-clock, so kept generous
-    /// (±40%) to stay robust on loaded CI hosts.
-    #[test]
-    fn one_and_four_shards_converge_to_the_same_target() {
-        for shards in [1usize, 4] {
-            let r = run_once(shards, 7);
-            assert!(r.balanced, "counters must balance: {r:?}");
-            assert!(
-                r.steady_delay_ms.is_finite(),
-                "{shards} shards produced no steady-state sample"
-            );
-            let rel = (r.steady_delay_ms - TARGET_MS).abs() / TARGET_MS;
-            assert!(
-                rel < 0.4,
-                "{shards} shards: steady delay {:.0} ms vs target {TARGET_MS} ms",
-                r.steady_delay_ms
-            );
-            // 2× overload must shed roughly half (generous bounds).
-            assert!(
-                r.loss_ratio > 0.25 && r.loss_ratio < 0.75,
-                "{shards} shards: loss {}",
-                r.loss_ratio
-            );
-        }
     }
 }

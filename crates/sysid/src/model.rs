@@ -64,11 +64,17 @@ pub fn fit_headroom(run: &IdentificationRun, cost_us: f64, candidates: &[f64]) -
         .iter()
         .map(|&h| rmse(&model_error_s(run, cost_us, h)))
         .collect();
-    let (best_idx, _) = rmse_s
-        .iter()
-        .enumerate()
-        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
-        .expect("non-empty candidates");
+    // Exact ties break toward the LATER candidate: when the error curve
+    // is flat at the knee (two headrooms fit equally well), the larger
+    // headroom is the conservative pick — it implies less spare capacity,
+    // so a controller built on it sheds no less than it must.
+    let mut best_idx = 0;
+    for (i, &r) in rmse_s.iter().enumerate().skip(1) {
+        let cur = rmse_s[best_idx];
+        if r.is_finite() && (!cur.is_finite() || r <= cur) {
+            best_idx = i;
+        }
+    }
     ModelFit {
         candidates: candidates.to_vec(),
         rmse_s: rmse_s.clone(),
@@ -127,6 +133,59 @@ mod tests {
         let fit = fit_headroom(&run, 5000.0, &[0.85, 0.9, 0.95, 1.0]);
         assert_eq!(fit.best_headroom, 0.9);
         assert!(fit.best_rmse_s < 1e-9);
+    }
+
+    /// Regression: a cost curve exactly flat at the knee used to resolve
+    /// to the FIRST (smaller) headroom; ties must break to the later one.
+    /// The construction makes the tie bitwise-exact: with power-of-two
+    /// headrooms and a unit cost, both predictions and their midpoint are
+    /// exactly representable, so the two error series are exact negations
+    /// of each other and square to identical RMSEs.
+    #[test]
+    fn flat_tie_at_the_knee_breaks_to_the_later_headroom() {
+        let (h_lo, h_hi) = (0.25, 0.5);
+        let c_us = 1e6; // c_s = 1.0 exactly
+        let qs = [0u64, 3, 7, 12, 20];
+        let mut periods = Vec::new();
+        let mut q_prev = 0u64;
+        for (k, &q) in qs.iter().enumerate() {
+            let n = q_prev as f64 + 1.0;
+            // Midpoint of the two candidate predictions: 4n and 2n → 3n.
+            let y_s = 3.0 * n;
+            periods.push(ObservedPeriod {
+                k: k as u64,
+                fin_tps: 300.0,
+                q,
+                y_real_ms: y_s * 1e3,
+                measured_cost_us: c_us,
+            });
+            q_prev = q;
+        }
+        let run = IdentificationRun {
+            periods,
+            mean_cost_us: c_us,
+        };
+        let fit = fit_headroom(&run, c_us, &[h_lo, h_hi]);
+        assert_eq!(
+            fit.rmse_s[0].to_bits(),
+            fit.rmse_s[1].to_bits(),
+            "construction must produce a bitwise-exact tie"
+        );
+        assert_eq!(fit.best_headroom, h_hi, "tie must break to the later candidate");
+    }
+
+    #[test]
+    fn nan_candidates_never_win_a_fit() {
+        // An unobservable candidate (NaN RMSE) must lose to any finite one,
+        // wherever it sits in the list.
+        let run = synthetic_run(0.9, 5000.0);
+        let mut damaged = run.clone();
+        for p in &mut damaged.periods {
+            p.y_real_ms = f64::NAN;
+        }
+        assert!(fit_headroom(&damaged, 5000.0, &[0.9, 0.95]).best_rmse_s.is_nan());
+        let fit = fit_headroom(&run, 5000.0, &[0.85, 0.9, 0.95]);
+        assert_eq!(fit.best_headroom, 0.9);
     }
 
     #[test]

@@ -1,0 +1,217 @@
+//! Online (recursive) regression — the streaming counterpart of the
+//! batch identification in [`regression`](crate::regression).
+//!
+//! [`OnlineRegression`] fits the affine model `y = slope·x + intercept`
+//! one sample at a time with exponentially forgotten recursive least
+//! squares. With the regressor vector `φ = [x, 1]ᵀ` and parameter vector
+//! `θ = [slope, intercept]ᵀ`, each update is the standard RLS recursion
+//!
+//! ```text
+//! K = Pφ / (λ + φᵀPφ)
+//! θ ← θ + K·(y − φᵀθ)
+//! P ← (P − K·φᵀP) / λ
+//! ```
+//!
+//! At `λ = 1` and a diffuse prior the recursion converges to the batch
+//! ordinary-least-squares solution ([`crate::regression::ols`]) — the
+//! property-based tests pin the two against each other. With `λ < 1` old
+//! samples are discounted geometrically, which is what the self-tuning
+//! control plane needs: the same slope/intercept structure as the
+//! offline multi-rate fit, re-estimated continuously from live
+//! [`ControlTrace`](streamshed_engine::telemetry::ControlTrace) data so
+//! drift in the per-tuple cost shows up within a window instead of a
+//! re-calibration campaign.
+
+use serde::{Deserialize, Serialize};
+
+/// Recursive least squares for `y = slope·x + intercept` with
+/// exponential forgetting.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OnlineRegression {
+    theta: [f64; 2],
+    p: [[f64; 2]; 2],
+    forgetting: f64,
+    samples: u64,
+}
+
+/// Diffuse-prior covariance: large enough that the first samples
+/// dominate the (zero) prior, matching batch OLS at λ = 1.
+const DIFFUSE_PRIOR: f64 = 1e9;
+
+impl OnlineRegression {
+    /// Creates an estimator with a zero prior and a diffuse prior
+    /// covariance. `forgetting` is λ ∈ (0, 1]; `1.0` recovers ordinary
+    /// least squares, smaller values discount old samples faster.
+    pub fn new(forgetting: f64) -> Self {
+        Self::with_prior(0.0, 0.0, DIFFUSE_PRIOR, forgetting)
+    }
+
+    /// Creates an estimator seeded with a prior `(slope, intercept)` and
+    /// a scalar prior covariance (larger = trust data over the prior).
+    pub fn with_prior(slope: f64, intercept: f64, prior_cov: f64, forgetting: f64) -> Self {
+        assert!(prior_cov > 0.0 && prior_cov.is_finite());
+        assert!(forgetting > 0.0 && forgetting <= 1.0);
+        Self {
+            theta: [slope, intercept],
+            p: [[prior_cov, 0.0], [0.0, prior_cov]],
+            forgetting,
+            samples: 0,
+        }
+    }
+
+    /// Feeds one `(x, y)` sample; returns the updated
+    /// `(slope, intercept)`. Non-finite samples are ignored.
+    pub fn update(&mut self, x: f64, y: f64) -> (f64, f64) {
+        if !(x.is_finite() && y.is_finite()) {
+            return (self.theta[0], self.theta[1]);
+        }
+        let phi = [x, 1.0];
+        // Pφ and the scalar innovation denominator λ + φᵀPφ.
+        let pphi = [
+            self.p[0][0] * phi[0] + self.p[0][1] * phi[1],
+            self.p[1][0] * phi[0] + self.p[1][1] * phi[1],
+        ];
+        let denom = self.forgetting + phi[0] * pphi[0] + phi[1] * pphi[1];
+        let k = [pphi[0] / denom, pphi[1] / denom];
+        let residual = y - (self.theta[0] * phi[0] + self.theta[1] * phi[1]);
+        self.theta[0] += k[0] * residual;
+        self.theta[1] += k[1] * residual;
+        // P ← (P − K·(Pφ)ᵀ)/λ, kept symmetric by construction.
+        for (row, ki) in self.p.iter_mut().zip(k) {
+            for (pij, pphij) in row.iter_mut().zip(pphi) {
+                *pij = (*pij - ki * pphij) / self.forgetting;
+            }
+        }
+        self.samples += 1;
+        (self.theta[0], self.theta[1])
+    }
+
+    /// Current slope estimate.
+    pub fn slope(&self) -> f64 {
+        self.theta[0]
+    }
+
+    /// Current intercept estimate.
+    pub fn intercept(&self) -> f64 {
+        self.theta[1]
+    }
+
+    /// Finite samples consumed.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Prediction `slope·x + intercept` under the current estimate.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.theta[0] * x + self.theta[1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regression::ols;
+
+    #[test]
+    fn matches_batch_ols_on_stationary_data() {
+        let samples: Vec<(f64, f64)> = (0..40)
+            .map(|i| {
+                let x = 200.0 + 10.0 * (i % 8) as f64;
+                // A deterministic "noise" ripple so the fit is not exact.
+                let y = 0.005 * x - 1.0 + 0.01 * ((i % 5) as f64 - 2.0);
+                (x, y)
+            })
+            .collect();
+        let (slope, intercept, _) = ols(&samples);
+        let mut rls = OnlineRegression::new(1.0);
+        for &(x, y) in &samples {
+            rls.update(x, y);
+        }
+        assert!(
+            (rls.slope() - slope).abs() < 1e-6 * slope.abs().max(1.0),
+            "slope {} vs ols {slope}",
+            rls.slope()
+        );
+        assert!(
+            (rls.intercept() - intercept).abs() < 1e-4,
+            "intercept {} vs ols {intercept}",
+            rls.intercept()
+        );
+        assert_eq!(rls.samples(), 40);
+    }
+
+    #[test]
+    fn forgetting_tracks_a_slope_change() {
+        let mut rls = OnlineRegression::new(0.9);
+        for i in 0..80 {
+            let x = 1.0 + (i % 7) as f64;
+            rls.update(x, 2.0 * x + 1.0);
+        }
+        assert!((rls.slope() - 2.0).abs() < 1e-6);
+        for i in 0..80 {
+            let x = 1.0 + (i % 7) as f64;
+            rls.update(x, 5.0 * x - 3.0);
+        }
+        assert!((rls.slope() - 5.0).abs() < 0.05, "slope {}", rls.slope());
+        assert!((rls.intercept() + 3.0).abs() < 0.3, "b {}", rls.intercept());
+    }
+
+    #[test]
+    fn ignores_degenerate_samples() {
+        let mut rls = OnlineRegression::with_prior(1.0, 0.0, 10.0, 1.0);
+        rls.update(f64::NAN, 1.0);
+        rls.update(1.0, f64::INFINITY);
+        assert_eq!(rls.samples(), 0);
+        assert_eq!(rls.slope(), 1.0);
+        assert_eq!(rls.predict(2.0), 2.0);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// On arbitrary stationary linear traces (with bounded
+            /// deterministic ripple and enough x-spread), the online
+            /// estimator at λ = 1 agrees with the offline batch fit.
+            #[test]
+            fn online_rls_agrees_with_batch_ols(
+                slope in -10.0..10.0f64,
+                intercept in -100.0..100.0f64,
+                x0 in 1.0..500.0f64,
+                x_spread in 1.0..50.0f64,
+                ripple in 0.0..0.5f64,
+                n in 12usize..60,
+            ) {
+                let samples: Vec<(f64, f64)> = (0..n)
+                    .map(|i| {
+                        let x = x0 + x_spread * (i % 9) as f64 / 8.0;
+                        let y = slope * x + intercept
+                            + ripple * ((i % 7) as f64 - 3.0) / 3.0;
+                        (x, y)
+                    })
+                    .collect();
+                let (bs, bi, _) = ols(&samples);
+                let mut rls = OnlineRegression::new(1.0);
+                for &(x, y) in &samples {
+                    rls.update(x, y);
+                }
+                // The diffuse prior leaves a residual bias ∝ ‖θ‖/prior,
+                // so agreement is judged on predictions relative to the
+                // trace's own y-scale.
+                let y_scale = samples
+                    .iter()
+                    .map(|&(_, y)| y.abs())
+                    .fold(1.0f64, f64::max);
+                for &(x, _) in &samples {
+                    let batch = bs * x + bi;
+                    prop_assert!(
+                        (rls.predict(x) - batch).abs() < 1e-4 * y_scale,
+                        "predict({x}) = {} vs ols {batch} (scale {y_scale})",
+                        rls.predict(x)
+                    );
+                }
+            }
+        }
+    }
+}

@@ -43,8 +43,11 @@ impl RegressionFit {
     }
 }
 
-/// Ordinary least squares for `y = a·x + b`.
-fn ols(samples: &[(f64, f64)]) -> (f64, f64, f64) {
+/// Ordinary least squares for `y = a·x + b`; returns
+/// `(slope, intercept, r²)`. Public so the online estimator
+/// ([`crate::online::OnlineRegression`]) can be checked against the
+/// batch solution it must converge to.
+pub fn ols(samples: &[(f64, f64)]) -> (f64, f64, f64) {
     let n = samples.len() as f64;
     assert!(n >= 2.0, "need at least two samples");
     let mean_x = samples.iter().map(|&(x, _)| x).sum::<f64>() / n;
