@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod affinity;
 pub mod cost;
 pub mod describe;
 pub mod diagnostics;
@@ -41,6 +42,7 @@ pub mod network;
 pub mod networks;
 pub mod obs;
 pub mod operator;
+pub mod ring;
 pub mod rng;
 pub mod rt;
 pub mod shard;
@@ -60,8 +62,9 @@ pub use obs::{http_get, HttpConfig, ObsHandle, ObsOptions, ObsPlane, ObsServer};
 pub use hook::{ControlHook, Decision, NoShedding, PeriodSnapshot};
 pub use metrics::{DelayStats, RunReport};
 pub use network::{NetworkBuilder, NodeId, QueryNetwork};
+pub use ring::{Push, SpscRing};
 pub use rng::{engine_rng, AtomicShedder, EngineRng, EntryShedder, GeometricSkip};
-pub use shard::{Dispatch, ShardConfig, ShardReport, ShardStat, ShardedEngine};
+pub use shard::{BatchResult, Dispatch, ShardConfig, ShardReport, ShardStat, ShardedEngine};
 pub use sim::{SimConfig, Simulator};
 pub use telemetry::{
     ControlState, ControlTrace, EventSink, InstrumentedHook, LoopMode, Ring, RingRecorder,

@@ -16,21 +16,27 @@
 //! [`shard`](crate::shard).
 //!
 //! The pipeline is hardened against the faults a real deployment sees:
-//! the tuple queue is **bounded** (arrivals rejected at capacity are
-//! accounted as entry drops, giving natural backpressure instead of
-//! unbounded memory growth); a **panicking worker is caught and
-//! restarted** in place, losing only the tuple it was processing; and the
-//! controller thread counts **deadline misses** — period boundaries
-//! serviced more than half a period late, e.g. because the hook itself
-//! overran.
+//! the tuple queue is a **bounded lock-free ring** (arrivals rejected at
+//! capacity are accounted in their own `rejected_capacity` bucket,
+//! giving natural backpressure instead of unbounded memory growth); a
+//! **panicking worker is caught and restarted** in place, losing only
+//! the tuple it was processing; and the controller thread counts
+//! **deadline misses** — period boundaries serviced more than half a
+//! period late, e.g. because the hook itself overran.
+//!
+//! Like the sharded engine, ingestion is batch-first:
+//! [`RtEngine::offer_batch`] admits up to 1024 arrivals per internal
+//! chunk with one entry-shedder pass, one timestamp, and one ring
+//! reservation.
 
 use crate::hook::{ControlHook, PeriodSnapshot};
 use crate::obs::{MetricsFn, ObsHandle, ObsOptions, ObsServer};
+use crate::ring::{Push, SpscRing};
 use crate::rng::AtomicShedder;
+use crate::shard::{BatchResult, OFFER_BATCH_MAX};
 use crate::telemetry::{InstrumentedHook, PromText, Ring, TracingHook};
 use crate::time::{SimDuration, SimTime};
 use crate::worker::{spawn_supervised, CostModel, WorkerConfig, WorkerStats};
-use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -49,7 +55,7 @@ pub struct RtConfig {
     /// Headroom: the worker inflates the per-tuple service time by `1/H`.
     pub headroom: f64,
     /// Capacity of the tuple queue; arrivals beyond it are rejected and
-    /// counted as entry drops (backpressure).
+    /// counted `rejected_at_capacity` (backpressure).
     pub queue_capacity: usize,
     /// Fault injection: the worker panics while processing the n-th tuple
     /// (1-based). The engine must survive, restart the worker, and keep
@@ -128,15 +134,14 @@ impl Shared {
 pub struct RtReport {
     /// Tuples offered to the engine.
     pub offered: u64,
-    /// Tuples dropped by the entry shedder (includes capacity
-    /// rejections).
+    /// Tuples dropped by the entry shedder (α decisions only; disjoint
+    /// from the rejection buckets below).
     pub dropped_entry: u64,
     /// Tuples dropped by in-queue shedding.
     pub dropped_shed: u64,
     /// Tuples fully processed.
     pub completed: u64,
-    /// Of the entry drops, tuples rejected because the bounded queue was
-    /// full.
+    /// Tuples rejected because the bounded queue was full.
     pub rejected_at_capacity: u64,
     /// Tuples rejected because the engine was already shut down (the
     /// worker's channel was closed). Accounted separately from
@@ -160,14 +165,16 @@ pub struct RtReport {
 }
 
 impl RtReport {
-    /// Data loss ratio across both shedders (shutdown rejections are not
-    /// losses the shedders chose, but they are offers that never
-    /// completed, so they count toward the denominator only).
+    /// Data loss ratio: entry-shedder drops, capacity rejections, and
+    /// in-queue shedding over everything offered (shutdown rejections
+    /// are not losses the running system chose, so they count toward the
+    /// denominator only).
     pub fn loss_ratio(&self) -> f64 {
         if self.offered == 0 {
             0.0
         } else {
-            (self.dropped_entry + self.dropped_shed) as f64 / self.offered as f64
+            (self.dropped_entry + self.rejected_at_capacity + self.dropped_shed) as f64
+                / self.offered as f64
         }
     }
 }
@@ -176,7 +183,7 @@ impl RtReport {
 pub struct RtEngine {
     shared: Arc<Shared>,
     work: Arc<WorkerStats>,
-    tx: Option<Sender<Instant>>,
+    ring: Arc<SpscRing>,
     worker: Option<JoinHandle<()>>,
     controller: Option<JoinHandle<()>>,
     cfg: RtConfig,
@@ -193,17 +200,18 @@ impl RtEngine {
         assert!(cfg.queue_capacity > 0, "queue capacity must be positive");
         let shared = Arc::new(Shared::new());
         let work = Arc::new(WorkerStats::new());
-        let (tx, rx): (Sender<Instant>, Receiver<Instant>) = bounded(cfg.queue_capacity);
+        let ring = Arc::new(SpscRing::new(cfg.queue_capacity));
 
         let worker = spawn_supervised(
             Arc::clone(&work),
-            rx,
+            Arc::clone(&ring),
             WorkerConfig {
                 cost: cfg.cost,
                 headroom: cfg.headroom,
                 target_delay: cfg.target_delay,
                 panic_on_tuple: cfg.panic_on_tuple,
                 cost_model: CostModel::Sleep,
+                pin_core: None,
             },
         );
 
@@ -229,13 +237,20 @@ impl RtEngine {
                     last = now;
                     let period = SimDuration(cfg.period.as_micros() as u64);
                     let completed = delta.completed;
+                    // The controller's view of front-door loss stays
+                    // inclusive: α drops and capacity rejections both
+                    // reduce admitted load, even though the report
+                    // ledger keeps the buckets disjoint.
+                    let front_door_drops = delta.dropped_entry + delta.rejected_capacity;
                     let snapshot = PeriodSnapshot {
                         k,
                         now: SimTime(start.elapsed().as_micros() as u64),
                         period,
                         offered: delta.offered,
-                        admitted: delta.offered - delta.dropped_entry,
-                        dropped_entry: delta.dropped_entry,
+                        admitted: delta
+                            .offered
+                            .saturating_sub(front_door_drops + delta.rejected_closed),
+                        dropped_entry: front_door_drops,
                         dropped_network: delta.dropped_shed,
                         completed,
                         outstanding: work.queue_len.load(Ordering::Relaxed),
@@ -277,7 +292,7 @@ impl RtEngine {
         Self {
             shared,
             work,
-            tx: Some(tx),
+            ring,
             worker: Some(worker),
             controller: Some(controller),
             cfg,
@@ -340,30 +355,82 @@ impl RtEngine {
             self.shared.dropped_entry.fetch_add(1, Ordering::Relaxed);
             return false;
         }
-        let Some(tx) = &self.tx else {
-            // Shutdown race, not shedding: account separately.
-            self.shared.rejected_closed.fetch_add(1, Ordering::Relaxed);
-            return false;
-        };
-        match tx.try_send(Instant::now()) {
-            Ok(()) => {
+        match self.ring.push(self.ring.stamp_now()) {
+            Push::Pushed(1) => {
                 self.work.queue_len.fetch_add(1, Ordering::Relaxed);
                 true
             }
-            Err(TrySendError::Full(_)) => {
-                // Backpressure: at capacity the tuple is rejected exactly
-                // like an entry-shed drop, just accounted separately too.
+            Push::Pushed(_) => {
+                // Backpressure: the bounded ring is full.
                 self.shared.rejected_capacity.fetch_add(1, Ordering::Relaxed);
-                self.shared.dropped_entry.fetch_add(1, Ordering::Relaxed);
                 false
             }
-            Err(TrySendError::Disconnected(_)) => {
-                // Worker unrecoverably gone; degrade to rejecting instead
-                // of panicking the caller.
+            Push::Closed => {
+                // Shutdown race, not shedding: account separately.
                 self.shared.rejected_closed.fetch_add(1, Ordering::Relaxed);
                 false
             }
         }
+    }
+
+    /// Offers `n` tuples in one batched admission: one entry-shedder
+    /// pass, one timestamp, and one ring reservation per internal chunk
+    /// of up to 1024 arrivals. Statistically identical to `n` calls of
+    /// [`offer`](Self::offer) — the batch pass replays the exact
+    /// decision sequence the scalar path would have made from the same
+    /// shedder state.
+    pub fn offer_batch(&self, n: usize) -> BatchResult {
+        let mut res = BatchResult::default();
+        let mut remaining = n;
+        while remaining > 0 {
+            let chunk = remaining.min(OFFER_BATCH_MAX);
+            remaining -= chunk;
+            self.shared
+                .offered
+                .fetch_add(chunk as u64, Ordering::Relaxed);
+            res.offered += chunk as u64;
+            let alpha = self.shared.alpha();
+            let drops = self.shared.shedder.shed_batch(alpha, chunk as u64);
+            if drops > 0 {
+                self.shared.dropped_entry.fetch_add(drops, Ordering::Relaxed);
+                res.dropped_entry += drops;
+            }
+            let admit = (chunk as u64 - drops) as usize;
+            if admit == 0 {
+                continue;
+            }
+            match self.ring.push_repeat(self.ring.stamp_now(), admit) {
+                Push::Pushed(got) => {
+                    let got = got as u64;
+                    if got > 0 {
+                        self.work.queue_len.fetch_add(got, Ordering::Relaxed);
+                        res.dispatched += got;
+                    }
+                    if (got as usize) < admit {
+                        let short = admit as u64 - got;
+                        self.shared
+                            .rejected_capacity
+                            .fetch_add(short, Ordering::Relaxed);
+                        res.rejected_capacity += short;
+                    }
+                }
+                Push::Closed => {
+                    self.shared
+                        .rejected_closed
+                        .fetch_add(admit as u64, Ordering::Relaxed);
+                    res.rejected_closed += admit as u64;
+                }
+            }
+        }
+        res
+    }
+
+    /// Keyed variant of [`offer_batch`](Self::offer_batch). The
+    /// single-worker engine has one queue, so keys do not affect
+    /// routing; per-arrival shed decisions are still made in key order,
+    /// mirroring the sharded engine's semantics.
+    pub fn offer_batch_keyed(&self, keys: &[u64]) -> BatchResult {
+        self.offer_batch(keys.len())
     }
 
     /// Current queue length (outstanding tuples).
@@ -402,7 +469,7 @@ fn render_prometheus(s: &Shared, w: &WorkerStats, p: &mut PromText) {
         )
         .counter(
             "dropped_entry_total",
-            "Tuples dropped by the entry shedder (incl. capacity rejections)",
+            "Tuples dropped by the entry shedder (alpha decisions only)",
             s.dropped_entry.load(Ordering::Relaxed) as f64,
         )
         .counter(
@@ -487,7 +554,7 @@ impl RtEngine {
     /// Stops the engine, joins both threads, and returns the final report.
     pub fn shutdown(mut self) -> RtReport {
         self.shared.stop.store(true, Ordering::Relaxed);
-        drop(self.tx.take()); // closes the channel; worker drains and exits
+        self.ring.close(); // worker drains the ring and exits
         if let Some(w) = self.worker.take() {
             let _ = w.join();
         }
@@ -531,7 +598,7 @@ impl RtEngine {
 impl Drop for RtEngine {
     fn drop(&mut self) {
         self.shared.stop.store(true, Ordering::Relaxed);
-        drop(self.tx.take());
+        self.ring.close();
         if let Some(w) = self.worker.take() {
             let _ = w.join();
         }
@@ -619,9 +686,9 @@ mod tests {
             engine.offer();
         }
         let report = engine.shutdown();
-        // Only count the entry-shed drops (capacity rejections excluded).
-        let shed = report.dropped_entry - report.rejected_at_capacity;
-        let ratio = shed as f64 / report.offered as f64;
+        // `dropped_entry` counts only the entry-shed drops (capacity
+        // rejections live in their own bucket).
+        let ratio = report.dropped_entry as f64 / report.offered as f64;
         assert!(ratio > 0.003 && ratio < 0.03, "ratio {ratio}");
     }
 
@@ -711,12 +778,58 @@ mod tests {
         let report = engine.shutdown();
         assert!(accepted <= 10, "capacity 8 plus at most in-service slack");
         assert!(report.rejected_at_capacity >= 90, "{}", report.rejected_at_capacity);
-        assert!(
-            report.dropped_entry >= report.rejected_at_capacity,
-            "capacity rejections are entry drops"
-        );
+        assert_eq!(report.dropped_entry, 0, "no alpha in force: rejections are not shed drops");
         assert_eq!(report.rejected_closed, 0, "no shutdown race in this test");
         assert_eq!(report.offered, 100);
+        assert!(report.loss_ratio() >= 0.9, "capacity rejections are losses");
+    }
+
+    #[test]
+    fn offer_batch_matches_scalar_accounting() {
+        let cfg = RtConfig {
+            cost: Duration::from_micros(100),
+            period: Duration::from_millis(20),
+            target_delay: Duration::from_millis(100),
+            headroom: 1.0,
+            queue_capacity: 4096,
+            panic_on_tuple: None,
+        };
+        let engine = RtEngine::spawn(cfg, NoShedding);
+        let mut total = crate::shard::BatchResult::default();
+        for n in [16usize, 256, 1024, 7] {
+            total.merge(&engine.offer_batch(n));
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        std::thread::sleep(Duration::from_millis(50));
+        let report = engine.shutdown();
+        assert_eq!(total.offered, 1303);
+        assert_eq!(total.dispatched, 1303);
+        assert_eq!(report.offered, 1303);
+        assert_eq!(report.completed, 1303);
+        assert_eq!(report.loss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn offer_batch_sheds_with_alpha() {
+        let cfg = RtConfig {
+            cost: Duration::from_micros(10),
+            period: Duration::from_millis(10),
+            target_delay: Duration::from_millis(20),
+            headroom: 1.0,
+            queue_capacity: 65_536,
+            panic_on_tuple: None,
+        };
+        let hook = |_s: &PeriodSnapshot| Decision::entry(0.5);
+        let engine = RtEngine::spawn(cfg, hook);
+        std::thread::sleep(Duration::from_millis(25));
+        let res = engine.offer_batch(20_000);
+        let ratio = res.dropped_entry as f64 / res.offered as f64;
+        assert!(ratio > 0.45 && ratio < 0.55, "ratio {ratio}");
+        assert_eq!(
+            res.offered,
+            res.dispatched + res.dropped_entry + res.rejected_capacity + res.rejected_closed
+        );
+        drop(engine);
     }
 
     #[test]
@@ -848,6 +961,8 @@ mod tests {
 struct Counters {
     offered: u64,
     dropped_entry: u64,
+    rejected_capacity: u64,
+    rejected_closed: u64,
     dropped_shed: u64,
     completed: u64,
     delay_sum_us: u64,
@@ -858,6 +973,8 @@ impl Counters {
         Self {
             offered: s.offered.load(Ordering::Relaxed),
             dropped_entry: s.dropped_entry.load(Ordering::Relaxed),
+            rejected_capacity: s.rejected_capacity.load(Ordering::Relaxed),
+            rejected_closed: s.rejected_closed.load(Ordering::Relaxed),
             dropped_shed: w.dropped_shed.load(Ordering::Relaxed),
             completed: w.completed.load(Ordering::Relaxed),
             delay_sum_us: w.delay_sum_us.load(Ordering::Relaxed),
@@ -868,6 +985,8 @@ impl Counters {
         Counters {
             offered: self.offered - other.offered,
             dropped_entry: self.dropped_entry - other.dropped_entry,
+            rejected_capacity: self.rejected_capacity - other.rejected_capacity,
+            rejected_closed: self.rejected_closed - other.rejected_closed,
             dropped_shed: self.dropped_shed - other.dropped_shed,
             completed: self.completed - other.completed,
             delay_sum_us: self.delay_sum_us - other.delay_sum_us,

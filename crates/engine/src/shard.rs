@@ -1,13 +1,23 @@
 //! A sharded real-time data plane under one global controller.
 //!
 //! This generalizes the single-worker [`RtEngine`](crate::rt::RtEngine)
-//! to `N` worker shards. Each shard owns a bounded SPSC tuple queue, a
-//! supervised worker (panic-catch-and-restart, shared with `rt` via
-//! [`worker`](crate::worker)), a local measured-cost EWMA (its cost
-//! model), and local drop counters. A shared [`ShardedEngine::offer`]
-//! front door dispatches tuples round-robin or by key hash, reusing the
-//! hybrid entry-shedder seam ([`AtomicShedder`]) so admission control is
-//! one decision regardless of shard count.
+//! to `N` worker shards. Each shard owns a bounded lock-free ingress
+//! ring ([`SpscRing`]), a supervised worker (panic-catch-and-restart,
+//! shared with `rt` via [`worker`](crate::worker)), a local
+//! measured-cost EWMA (its cost model), and local drop counters. A
+//! shared [`ShardedEngine::offer`] front door dispatches tuples
+//! round-robin or by key hash, reusing the hybrid entry-shedder seam
+//! ([`AtomicShedder`]) so admission control is one decision regardless
+//! of shard count.
+//!
+//! **Batch-first ingress.** [`ShardedEngine::offer_batch`] (and its
+//! keyed sibling [`ShardedEngine::offer_batch_keyed`]) admit up to 1024
+//! tuples per internal chunk with one entry-shedder pass (the hybrid
+//! Bernoulli/geometric state is loaded into registers once per chunk and
+//! the geometric skip counter is carried across it), one timestamp, one
+//! routing resolution, and one ring reservation per target shard. The
+//! per-tuple `offer()` path remains and shares the same counters, so
+//! mixing the two is safe.
 //!
 //! **One controller suffices.** Per the paper's §4.2, the plant
 //! `G(z) = cT/(H(z−1))` models the *aggregate* system: the path
@@ -25,32 +35,44 @@
 //! assert, under concurrent offers, worker panics, and shutdown:
 //!
 //! ```text
-//! offered  == dropped_entry + rejected_closed + Σᵢ dispatchedᵢ
+//! offered == dropped_entry + rejected_capacity + rejected_closed + Σᵢ dispatchedᵢ
 //! Σᵢ dispatchedᵢ == completed + dropped_shed + worker_panics   (drained)
 //! ```
 //!
-//! where `dropped_entry` includes capacity rejections (backpressure is
-//! accounted exactly as in the single-worker engine) and every caught
-//! worker panic loses exactly the tuple being processed.
+//! The four front-door buckets are disjoint: `dropped_entry` counts
+//! *only* entry-shedder (α) drops, `rejected_capacity` counts arrivals
+//! refused because the target shard's ring was full, `rejected_closed`
+//! counts arrivals after close, and every caught worker panic loses
+//! exactly the tuple being processed. (See DESIGN.md "The counter
+//! ledger" — earlier revisions double-counted capacity rejections into
+//! `dropped_entry`.)
 
 use crate::hook::PeriodSnapshot;
 use crate::obs::{MetricsFn, ObsHandle, ObsOptions, ObsPlane, ObsServer};
+use crate::ring::{Push, SpscRing};
 use crate::rng::AtomicShedder;
 use crate::telemetry::{ControlTrace, EventSink, InstrumentedHook, PromText, SharedRecorder};
 use crate::time::{SimDuration, SimTime};
 use crate::worker::{spawn_supervised, CostModel, WorkerConfig, WorkerStats};
-use crossbeam::channel::{bounded, Sender, TrySendError};
-use parking_lot::RwLock;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+/// Maximum tuples admitted per internal chunk of a batched offer: one
+/// shed pass, one timestamp, and one routing resolution cover at most
+/// this many arrivals.
+pub const OFFER_BATCH_MAX: usize = 1024;
+
 /// How the front door routes an admitted tuple to a shard.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Dispatch {
-    /// Strict rotation over shards — the best load balance when tuples
-    /// are exchangeable.
+    /// Rotation over shards — the best load balance when tuples are
+    /// exchangeable. When `shards` is a power of two the rotation is
+    /// strict (a mask of the arrival sequence, exact even across
+    /// `u64::MAX` wraparound); otherwise the sequence is bit-mixed to a
+    /// uniform shard choice, since a plain `seq % shards` would skew
+    /// dispatch at wraparound.
     #[default]
     RoundRobin,
     /// Route by key hash, so equal keys always land on the same shard
@@ -89,6 +111,11 @@ pub struct ShardConfig {
     /// between runs). [`ShardConfig::DEFAULT_SEED`] preserves the
     /// historical stream.
     pub seed: u64,
+    /// Pin each shard worker to CPU `shard_index % host_cores` (best
+    /// effort, Linux only; a failed pin is ignored). Off by default —
+    /// pinning helps steady multicore throughput but hurts on
+    /// oversubscribed or single-core hosts.
+    pub pin_cores: bool,
 }
 
 impl ShardConfig {
@@ -111,20 +138,21 @@ impl ShardConfig {
             cost_model: CostModel::Sleep,
             dispatch: Dispatch::RoundRobin,
             seed: Self::DEFAULT_SEED,
+            pin_cores: false,
         }
     }
 }
 
-/// One shard: its worker stats, its send side (write-locked only to
-/// close), its dispatch counter, and its supervisor handle.
+/// One shard: its worker stats, its lock-free ingress ring, its dispatch
+/// counter, and its supervisor handle.
 struct Shard {
     stats: Arc<WorkerStats>,
-    /// `offer()` sends while holding the read lock; `close()` takes the
-    /// write lock and drops the sender. The lock makes close-vs-offer
-    /// race-free: after `close()` returns, no offer can sneak a tuple
-    /// into a queue nobody will drain, so the balance invariant is exact.
-    tx: RwLock<Option<Sender<Instant>>>,
-    /// Tuples successfully sent to this shard's queue. `Arc` so the
+    /// Bounded lock-free mailbox. Its close flag makes close-vs-offer
+    /// race-free: after [`SpscRing::close`] returns, no offer can sneak
+    /// a tuple into a queue nobody will drain (in-flight pushes are
+    /// drained by the worker), so the balance invariant is exact.
+    ring: Arc<SpscRing>,
+    /// Tuples successfully pushed to this shard's ring. `Arc` so the
     /// observed-mode `/metrics` closure can read it without borrowing
     /// the engine.
     dispatched: Arc<AtomicU64>,
@@ -192,6 +220,60 @@ fn key_to_shard(key: u64, shards: usize) -> usize {
     (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % shards
 }
 
+/// splitmix64 finalizer: a full-avalanche bit mix.
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Round-robin routing of arrival sequence `seq` onto a shard. A power
+/// of two shard count masks the sequence directly — strict rotation,
+/// exact across `u64::MAX` wraparound because a power of two divides
+/// 2⁶⁴. Any other count bit-mixes the sequence first: `seq % shards`
+/// would be near-rotational but skewed at wraparound (2⁶⁴ mod 3 ≠ 0),
+/// while the mix gives uniform wrap-safe dispatch.
+#[inline]
+fn rr_to_shard(seq: u64, shards: usize) -> usize {
+    let n = shards as u64;
+    if n.is_power_of_two() {
+        (seq & (n - 1)) as usize
+    } else {
+        (mix64(seq) % n) as usize
+    }
+}
+
+/// Outcome of one batched offer: how the batch's arrivals split across
+/// the front-door ledger. `offered` always equals
+/// `dispatched + dropped_entry + rejected_capacity + rejected_closed`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchResult {
+    /// Arrivals presented (the batch size).
+    pub offered: u64,
+    /// Arrivals admitted and enqueued on some shard.
+    pub dispatched: u64,
+    /// Arrivals dropped by the entry shedder (α decisions).
+    pub dropped_entry: u64,
+    /// Arrivals rejected because the target shard's ring was full.
+    pub rejected_capacity: u64,
+    /// Arrivals rejected because the engine was closed.
+    pub rejected_closed: u64,
+}
+
+impl BatchResult {
+    /// Folds another batch outcome into this one.
+    pub fn merge(&mut self, o: &BatchResult) {
+        self.offered += o.offered;
+        self.dispatched += o.dispatched;
+        self.dropped_entry += o.dropped_entry;
+        self.rejected_capacity += o.rejected_capacity;
+        self.rejected_closed += o.rejected_closed;
+    }
+}
+
 /// Per-shard slice of a [`ShardReport`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ShardStat {
@@ -215,10 +297,10 @@ pub struct ShardStat {
 pub struct ShardReport {
     /// Tuples offered at the front door.
     pub offered: u64,
-    /// Tuples dropped at entry (shedder drops + capacity rejections).
+    /// Tuples dropped by the entry shedder (α decisions only; disjoint
+    /// from the rejection buckets below).
     pub dropped_entry: u64,
-    /// Of the entry drops, arrivals rejected because the target shard's
-    /// queue was full.
+    /// Arrivals rejected because the target shard's queue was full.
     pub rejected_at_capacity: u64,
     /// Arrivals rejected because the engine was closed or shut down.
     pub rejected_closed: u64,
@@ -244,16 +326,21 @@ impl ShardReport {
     /// shutdown (queues drained).
     pub fn counters_balance(&self) -> bool {
         let dispatched: u64 = self.per_shard.iter().map(|s| s.dispatched).sum();
-        self.offered == self.dropped_entry + self.rejected_closed + dispatched
+        self.offered
+            == self.dropped_entry + self.rejected_at_capacity + self.rejected_closed + dispatched
             && dispatched == self.completed + self.dropped_shed + self.worker_panics
     }
 
-    /// Data loss ratio across both shedders.
+    /// Data loss ratio: everything the running system failed to process
+    /// — entry-shedder drops, capacity rejections, and in-queue shedding
+    /// — over everything offered. (Closed-door rejections are excluded:
+    /// they are shutdown artifacts, not load shedding.)
     pub fn loss_ratio(&self) -> f64 {
         if self.offered == 0 {
             0.0
         } else {
-            (self.dropped_entry + self.dropped_shed) as f64 / self.offered as f64
+            (self.dropped_entry + self.rejected_at_capacity + self.dropped_shed) as f64
+                / self.offered as f64
         }
     }
 }
@@ -265,6 +352,9 @@ pub struct ShardedEngine {
     controller: Option<JoinHandle<()>>,
     cfg: ShardConfig,
     obs: Option<ObsHandle>,
+    /// Shared time origin of every shard ring, so one batched timestamp
+    /// serves all shards.
+    epoch: Instant,
 }
 
 impl ShardedEngine {
@@ -344,24 +434,27 @@ impl ShardedEngine {
         assert!(cfg.headroom > 0.0 && cfg.headroom <= 1.0);
         assert!(cfg.queue_capacity > 0, "queue capacity must be positive");
         let global = Arc::new(Global::new(cfg.seed));
+        let epoch = Instant::now();
+        let cores = crate::affinity::host_cores();
         let shards: Vec<Shard> = (0..cfg.shards)
-            .map(|_| {
+            .map(|i| {
                 let stats = Arc::new(WorkerStats::new());
-                let (tx, rx) = bounded(cfg.queue_capacity);
+                let ring = Arc::new(SpscRing::with_epoch(cfg.queue_capacity, epoch));
                 let handle = spawn_supervised(
                     Arc::clone(&stats),
-                    rx,
+                    Arc::clone(&ring),
                     WorkerConfig {
                         cost: cfg.cost,
                         headroom: cfg.headroom,
                         target_delay: cfg.target_delay,
                         panic_on_tuple: cfg.panic_on_tuple,
                         cost_model: cfg.cost_model,
+                        pin_core: cfg.pin_cores.then_some(i % cores),
                     },
                 );
                 Shard {
                     stats,
-                    tx: RwLock::new(Some(tx)),
+                    ring,
                     dispatched: Arc::new(AtomicU64::new(0)),
                     handle: Some(handle),
                 }
@@ -425,13 +518,21 @@ impl ShardedEngine {
                     let plant_cost_us = cost_us / cfg.shards as f64;
 
                     let completed = delta.completed;
+                    // The controller's view of front-door loss stays
+                    // inclusive: α drops and capacity rejections both
+                    // reduce admitted load, so `dropped_entry` here is
+                    // their sum even though the report ledger keeps the
+                    // buckets disjoint.
+                    let front_door_drops = delta.dropped_entry + delta.rejected_capacity;
                     let snapshot = PeriodSnapshot {
                         k,
                         now: SimTime(start.elapsed().as_micros() as u64),
                         period: SimDuration(cfg.period.as_micros() as u64),
                         offered: delta.offered,
-                        admitted: delta.offered - delta.dropped_entry,
-                        dropped_entry: delta.dropped_entry,
+                        admitted: delta
+                            .offered
+                            .saturating_sub(front_door_drops + delta.rejected_closed),
+                        dropped_entry: front_door_drops,
                         dropped_network: delta.dropped_shed,
                         completed,
                         outstanding: q_total,
@@ -499,6 +600,7 @@ impl ShardedEngine {
             controller: Some(controller),
             cfg,
             obs: None,
+            epoch,
         }
     }
 
@@ -508,7 +610,7 @@ impl ShardedEngine {
     pub fn offer(&self) -> bool {
         let seq = self.global.rr_next.fetch_add(1, Ordering::Relaxed);
         let idx = match self.cfg.dispatch {
-            Dispatch::RoundRobin => (seq % self.cfg.shards as u64) as usize,
+            Dispatch::RoundRobin => rr_to_shard(seq, self.cfg.shards),
             Dispatch::KeyHash => key_to_shard(seq, self.cfg.shards),
         };
         self.offer_to(idx)
@@ -528,25 +630,143 @@ impl ShardedEngine {
             return false;
         }
         let shard = &self.shards[idx];
-        let guard = shard.tx.read();
-        let Some(tx) = guard.as_ref() else {
-            self.global.rejected_closed.fetch_add(1, Ordering::Relaxed);
-            return false;
-        };
-        match tx.try_send(Instant::now()) {
-            Ok(()) => {
+        match shard.ring.push(shard.ring.stamp_now()) {
+            Push::Pushed(1) => {
                 shard.stats.queue_len.fetch_add(1, Ordering::Relaxed);
                 shard.dispatched.fetch_add(1, Ordering::Relaxed);
                 true
             }
-            Err(TrySendError::Full(_)) => {
+            Push::Pushed(_) => {
                 self.global.rejected_capacity.fetch_add(1, Ordering::Relaxed);
-                self.global.dropped_entry.fetch_add(1, Ordering::Relaxed);
                 false
             }
-            Err(TrySendError::Disconnected(_)) => {
+            Push::Closed => {
                 self.global.rejected_closed.fetch_add(1, Ordering::Relaxed);
                 false
+            }
+        }
+    }
+
+    /// Offers `n` anonymous tuples in one batched admission. Internally
+    /// chunked at [`OFFER_BATCH_MAX`]; each chunk costs one entry-shedder
+    /// pass (the hybrid state is register-local for the whole chunk and
+    /// the geometric skip counter carries across it), one timestamp, and
+    /// one ring reservation per target shard. Statistically the α
+    /// semantics are identical to `n` calls of [`offer`](Self::offer):
+    /// the batch pass replays the exact per-arrival decision sequence
+    /// the scalar path would have made from the same shedder state.
+    pub fn offer_batch(&self, n: usize) -> BatchResult {
+        let mut res = BatchResult::default();
+        let mut remaining = n;
+        let mut counts = vec![0u64; self.cfg.shards];
+        while remaining > 0 {
+            let chunk = remaining.min(OFFER_BATCH_MAX);
+            remaining -= chunk;
+            self.global.offered.fetch_add(chunk as u64, Ordering::Relaxed);
+            res.offered += chunk as u64;
+            let alpha = self.global.alpha();
+            let drops = self.global.shedder.shed_batch(alpha, chunk as u64);
+            if drops > 0 {
+                self.global.dropped_entry.fetch_add(drops, Ordering::Relaxed);
+                res.dropped_entry += drops;
+            }
+            let admit = chunk as u64 - drops;
+            if admit == 0 {
+                continue;
+            }
+            // One routing resolution for the whole chunk: survivors take
+            // consecutive arrival sequence numbers.
+            let seq0 = self.global.rr_next.fetch_add(admit, Ordering::Relaxed);
+            counts.iter_mut().for_each(|c| *c = 0);
+            let shards = self.cfg.shards;
+            match self.cfg.dispatch {
+                Dispatch::RoundRobin if (shards as u64).is_power_of_two() => {
+                    // Closed-form strict rotation: shard (seq0 + k) & mask
+                    // for k in 0..admit.
+                    let base = admit / shards as u64;
+                    let extra = admit % shards as u64;
+                    let start = rr_to_shard(seq0, shards) as u64;
+                    for (i, c) in counts.iter_mut().enumerate() {
+                        let offset = (i as u64 + shards as u64 - start) % shards as u64;
+                        *c = base + u64::from(offset < extra);
+                    }
+                }
+                Dispatch::RoundRobin => {
+                    for k in 0..admit {
+                        counts[rr_to_shard(seq0.wrapping_add(k), shards)] += 1;
+                    }
+                }
+                Dispatch::KeyHash => {
+                    for k in 0..admit {
+                        counts[key_to_shard(seq0.wrapping_add(k), shards)] += 1;
+                    }
+                }
+            }
+            self.push_counts(&counts, &mut res);
+        }
+        res
+    }
+
+    /// Offers one keyed tuple per element of `keys` in one batched
+    /// admission: equal keys always reach the same shard (sticky-batch
+    /// dispatch — the batch is grouped by target shard with one hash per
+    /// key and one grouping pass, then pushed as per-shard sub-batches).
+    /// Entry-shedder decisions are per arrival, exactly as
+    /// [`offer_keyed`](Self::offer_keyed) would have made them.
+    pub fn offer_batch_keyed(&self, keys: &[u64]) -> BatchResult {
+        let mut res = BatchResult::default();
+        let mut counts = vec![0u64; self.cfg.shards];
+        for chunk in keys.chunks(OFFER_BATCH_MAX) {
+            self.global
+                .offered
+                .fetch_add(chunk.len() as u64, Ordering::Relaxed);
+            res.offered += chunk.len() as u64;
+            let alpha = self.global.alpha();
+            counts.iter_mut().for_each(|c| *c = 0);
+            let shards = self.cfg.shards;
+            let drops = self.global.shedder.shed_batch_each(alpha, chunk.len() as u64, |i| {
+                counts[key_to_shard(chunk[i], shards)] += 1;
+            });
+            if drops > 0 {
+                self.global.dropped_entry.fetch_add(drops, Ordering::Relaxed);
+                res.dropped_entry += drops;
+            }
+            self.push_counts(&counts, &mut res);
+        }
+        res
+    }
+
+    /// Pushes `counts[i]` stamps to shard `i` in one reservation each,
+    /// folding outcomes into `res`. One timestamp serves the whole call
+    /// (all rings share the engine epoch).
+    fn push_counts(&self, counts: &[u64], res: &mut BatchResult) {
+        let mut stamp = None;
+        for (shard, &want) in self.shards.iter().zip(counts) {
+            if want == 0 {
+                continue;
+            }
+            let stamp = *stamp.get_or_insert_with(|| self.epoch.elapsed().as_nanos() as u64);
+            match shard.ring.push_repeat(stamp, want as usize) {
+                Push::Pushed(got) => {
+                    let got = got as u64;
+                    if got > 0 {
+                        shard.stats.queue_len.fetch_add(got, Ordering::Relaxed);
+                        shard.dispatched.fetch_add(got, Ordering::Relaxed);
+                        res.dispatched += got;
+                    }
+                    if got < want {
+                        self.global
+                            .rejected_capacity
+                            .fetch_add(want - got, Ordering::Relaxed);
+                        res.rejected_capacity += want - got;
+                    }
+                }
+                Push::Closed => {
+                    self.global
+                        .rejected_closed
+                        .fetch_add(want, Ordering::Relaxed);
+                    res.rejected_closed += want;
+                }
             }
         }
     }
@@ -571,10 +791,12 @@ impl ShardedEngine {
 
     /// Closes the front door: every subsequent offer is counted
     /// `rejected_closed`, and workers exit once their queues drain.
-    /// Idempotent; safe to race with concurrent `offer()` calls.
+    /// Idempotent; safe to race with concurrent `offer()` calls (a
+    /// racing push either lands before the close and is drained, or
+    /// observes the close flag and is rejected — never stranded).
     pub fn close(&self) {
         for shard in &self.shards {
-            shard.tx.write().take();
+            shard.ring.close();
         }
     }
 
@@ -618,7 +840,7 @@ fn render_prometheus(g: &Global, shards: &[ShardView], p: &mut PromText) {
         )
         .counter(
             "dropped_entry_total",
-            "Tuples dropped by the entry shedder (incl. capacity rejections)",
+            "Tuples dropped by the entry shedder (alpha decisions only)",
             g.dropped_entry.load(Ordering::Relaxed) as f64,
         )
         .counter(
@@ -784,6 +1006,8 @@ impl Drop for ShardedEngine {
 struct Totals {
     offered: u64,
     dropped_entry: u64,
+    rejected_capacity: u64,
+    rejected_closed: u64,
     dropped_shed: u64,
     completed: u64,
     delay_sum_us: u64,
@@ -794,6 +1018,8 @@ impl Totals {
         let mut t = Self {
             offered: g.offered.load(Ordering::Relaxed),
             dropped_entry: g.dropped_entry.load(Ordering::Relaxed),
+            rejected_capacity: g.rejected_capacity.load(Ordering::Relaxed),
+            rejected_closed: g.rejected_closed.load(Ordering::Relaxed),
             ..Self::default()
         };
         for s in stats {
@@ -808,6 +1034,8 @@ impl Totals {
         Self {
             offered: self.offered - o.offered,
             dropped_entry: self.dropped_entry - o.dropped_entry,
+            rejected_capacity: self.rejected_capacity - o.rejected_capacity,
+            rejected_closed: self.rejected_closed - o.rejected_closed,
             dropped_shed: self.dropped_shed - o.dropped_shed,
             completed: self.completed - o.completed,
             delay_sum_us: self.delay_sum_us - o.delay_sum_us,
@@ -833,6 +1061,7 @@ mod tests {
             cost_model: CostModel::Sleep,
             dispatch: Dispatch::RoundRobin,
             seed: ShardConfig::DEFAULT_SEED,
+            pin_cores: false,
         }
     }
 
@@ -918,6 +1147,100 @@ mod tests {
         let report = engine.shutdown();
         assert_eq!(report.worker_panics, 3, "one caught panic per shard");
         assert_eq!(report.completed, 90 - 3);
+        assert!(report.counters_balance(), "{report:?}");
+    }
+
+    #[test]
+    fn offer_batch_round_robin_is_exact_on_power_of_two() {
+        let engine = ShardedEngine::spawn(quick_cfg(4), NoShedding);
+        let mut total = BatchResult::default();
+        for n in [16usize, 256, 120, 8] {
+            total.merge(&engine.offer_batch(n));
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        std::thread::sleep(Duration::from_millis(100));
+        let report = engine.shutdown();
+        assert_eq!(total.offered, 400);
+        assert_eq!(total.dispatched, 400);
+        assert_eq!(report.offered, 400);
+        assert_eq!(report.completed, 400);
+        assert!(report.counters_balance(), "{report:?}");
+        for s in &report.per_shard {
+            assert_eq!(s.dispatched, 100, "strict rotation survives batching");
+        }
+    }
+
+    #[test]
+    fn offer_batch_sheds_with_alpha_semantics() {
+        let cfg = quick_cfg(2);
+        let hook = |_s: &PeriodSnapshot| Decision::entry(0.5);
+        let engine = ShardedEngine::spawn(cfg, hook);
+        std::thread::sleep(Duration::from_millis(50)); // let α take effect
+        let mut total = BatchResult::default();
+        for _ in 0..40 {
+            total.merge(&engine.offer_batch(100));
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let report = engine.shutdown();
+        let ratio = total.dropped_entry as f64 / total.offered as f64;
+        assert!(ratio > 0.3 && ratio < 0.7, "ratio {ratio}");
+        assert_eq!(report.dropped_entry, total.dropped_entry);
+        assert!(report.counters_balance(), "{report:?}");
+    }
+
+    #[test]
+    fn offer_batch_keyed_is_sticky_per_key() {
+        let engine = ShardedEngine::spawn(quick_cfg(4), NoShedding);
+        let keys = vec![0xDEADBEEFu64; 80];
+        let res = engine.offer_batch_keyed(&keys);
+        assert_eq!(res.dispatched, 80);
+        std::thread::sleep(Duration::from_millis(150));
+        let report = engine.shutdown();
+        let non_empty: Vec<_> = report.per_shard.iter().filter(|s| s.dispatched > 0).collect();
+        assert_eq!(non_empty.len(), 1, "one shard owns the key");
+        assert_eq!(non_empty[0].dispatched, 80);
+        assert!(report.counters_balance());
+    }
+
+    #[test]
+    fn offer_batch_after_close_rejects_everything() {
+        let engine = ShardedEngine::spawn(quick_cfg(2), NoShedding);
+        engine.close();
+        let res = engine.offer_batch(50);
+        assert_eq!(res.rejected_closed, 50);
+        assert_eq!(res.dispatched, 0);
+        let report = engine.shutdown();
+        assert_eq!(report.rejected_closed, 50);
+        assert!(report.counters_balance(), "{report:?}");
+    }
+
+    #[test]
+    fn offer_batch_counts_capacity_shortfall() {
+        let cfg = ShardConfig {
+            cost: Duration::from_millis(50), // workers can't keep up
+            queue_capacity: 8,
+            ..quick_cfg(2)
+        };
+        let engine = ShardedEngine::spawn(cfg, NoShedding);
+        let res = engine.offer_batch(1000);
+        assert!(res.rejected_capacity > 0, "{res:?}");
+        assert_eq!(
+            res.offered,
+            res.dispatched + res.dropped_entry + res.rejected_capacity + res.rejected_closed
+        );
+        let report = engine.shutdown();
+        assert!(report.counters_balance(), "{report:?}");
+    }
+
+    #[test]
+    fn pinned_engine_still_balances() {
+        let mut cfg = quick_cfg(2);
+        cfg.pin_cores = true;
+        let engine = ShardedEngine::spawn(cfg, NoShedding);
+        engine.offer_batch(64);
+        std::thread::sleep(Duration::from_millis(100));
+        let report = engine.shutdown();
+        assert_eq!(report.completed, 64);
         assert!(report.counters_balance(), "{report:?}");
     }
 

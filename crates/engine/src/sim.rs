@@ -81,6 +81,17 @@ pub struct SimConfig {
     /// elapse per wall-clock second — a real-time (or accelerated) replay
     /// of the full query network. `Some(1.0)` is true real time.
     pub pacing: Option<f64>,
+    /// Ingress batching: how many due arrivals are admitted per admission
+    /// pass. `1` (the default) is the historical per-arrival path and
+    /// keeps every seeded RNG stream bit-identical to prior releases.
+    /// Values ≥ 2 mirror the real-time engines' `offer_batch` front door:
+    /// shed decisions are made in one grouped pass per entry (amortising
+    /// the hybrid shedder's state access) and kept tuples are then
+    /// admitted in arrival order, each with its **exact** original
+    /// virtual timestamp. The reordered RNG draws make batched runs a
+    /// *different* (still statistically-iid) sample path, which is why
+    /// batching is opt-in.
+    pub ingress_batch: usize,
 }
 
 impl SimConfig {
@@ -96,6 +107,7 @@ impl SimConfig {
             admission_gate: 64,
             shed_policy: ShedPolicy::default(),
             pacing: None,
+            ingress_batch: 1,
         }
     }
 
@@ -143,6 +155,13 @@ impl SimConfig {
     /// Sets the cost schedule.
     pub fn with_cost_schedule(mut self, schedule: CostSchedule) -> Self {
         self.cost_schedule = schedule;
+        self
+    }
+
+    /// Sets the ingress batch size (see [`Self::ingress_batch`]).
+    pub fn with_ingress_batch(mut self, n: usize) -> Self {
+        assert!(n >= 1, "ingress_batch must be >= 1");
+        self.ingress_batch = n;
         self
     }
 }
@@ -265,6 +284,9 @@ pub struct Simulator {
     /// geometric-skip, picked from the commanded α); reset whenever the
     /// controller issues a new decision.
     entry_skip: Vec<Option<EntryShedder>>,
+    /// Reusable drop-flag buffer for the batched admission pass
+    /// (`ingress_batch` ≥ 2), so the hot loop never allocates.
+    ingress_scratch: Vec<bool>,
     /// Flattened routing tables, one per node.
     fanout: Vec<Fanout>,
     roots: RootSlab,
@@ -366,6 +388,7 @@ impl Simulator {
             input_buffer: VecDeque::new(),
             buffered_per_entry: vec![0; n_nodes],
             entry_skip: vec![None; n_entries],
+            ingress_scratch: Vec::new(),
             fanout,
             roots: RootSlab::new(),
             rng,
@@ -699,6 +722,9 @@ impl Simulator {
         metrics: &mut MetricsAccumulator,
         pc: &mut PeriodCounters,
     ) {
+        if self.cfg.ingress_batch > 1 {
+            return self.admit_due_batched(arrival_times, next_arrival, end, decision, metrics, pc);
+        }
         let n_entries = self.network.entries().len();
         let key_space = self.cfg.key_space.max(1);
         // Rotating cursor equivalent to `(offered - 1) % n_entries`
@@ -748,6 +774,105 @@ impl Simulator {
             self.buffered_per_entry[entry.index()] += 1;
             self.input_buffer
                 .push_back((entry.index(), Tuple::new(root, t, key, value)));
+        }
+    }
+
+    /// Batched variant of [`Self::admit_due`], active when
+    /// [`SimConfig::ingress_batch`] ≥ 2 — the virtual-time mirror of the
+    /// real-time engines' `offer_batch` front door.
+    ///
+    /// Each pass gathers up to `ingress_batch` due arrivals and makes the
+    /// entry-shed decisions in one grouped sweep per entry (loading each
+    /// entry's hybrid-shedder state once per batch instead of once per
+    /// arrival), then admits the survivors in original arrival order so
+    /// the global input buffer stays arrival-sorted. Every admitted tuple
+    /// keeps its own exact virtual arrival timestamp; only the RNG draw
+    /// *order* differs from the scalar path.
+    fn admit_due_batched(
+        &mut self,
+        arrival_times: &[SimTime],
+        next_arrival: &mut usize,
+        end: SimTime,
+        decision: &Decision,
+        metrics: &mut MetricsAccumulator,
+        pc: &mut PeriodCounters,
+    ) {
+        let n_entries = self.network.entries().len();
+        let key_space = self.cfg.key_space.max(1);
+        let batch_max = self.cfg.ingress_batch;
+        loop {
+            // Gather the next batch of due arrivals.
+            let start = *next_arrival;
+            let mut n = 0usize;
+            while n < batch_max {
+                let i = start + n;
+                if i >= arrival_times.len()
+                    || arrival_times[i] > self.clock
+                    || arrival_times[i] >= end
+                {
+                    break;
+                }
+                n += 1;
+            }
+            if n == 0 {
+                return;
+            }
+            *next_arrival = start + n;
+            // Entry assignment stays by arrival order (stable under
+            // shedding), so arrival j of this batch belongs to entry
+            // `(cursor0 + j) % n_entries`.
+            let cursor0 = metrics.offered as usize % n_entries;
+            pc.offered += n as u64;
+            metrics.offered += n as u64;
+            // Pass 1 — grouped shed decisions, one entry at a time.
+            let mut scratch = std::mem::take(&mut self.ingress_scratch);
+            scratch.clear();
+            scratch.resize(n, false);
+            for entry_pos in 0..n_entries {
+                let first = (entry_pos + n_entries - cursor0) % n_entries;
+                if first >= n {
+                    continue;
+                }
+                let alpha = decision.drop_prob_for_entry(entry_pos);
+                if alpha <= 0.0 {
+                    continue;
+                }
+                let skip = self.entry_skip[entry_pos]
+                    .get_or_insert_with(|| EntryShedder::new(alpha, &mut self.rng));
+                let mut j = first;
+                while j < n {
+                    if skip.should_drop(&mut self.rng) {
+                        scratch[j] = true;
+                    }
+                    j += n_entries;
+                }
+            }
+            // Pass 2 — admit survivors in arrival order, each with its
+            // exact original timestamp.
+            let mut cursor = cursor0;
+            for (j, &dropped) in scratch.iter().enumerate() {
+                let entry_pos = cursor;
+                cursor += 1;
+                if cursor == n_entries {
+                    cursor = 0;
+                }
+                if dropped {
+                    pc.dropped_entry += 1;
+                    metrics.dropped_entry += 1;
+                    continue;
+                }
+                let t = arrival_times[start + j];
+                pc.admitted += 1;
+                let root = self.roots.admit(t);
+                let key =
+                    (((self.rng.next_u64() as u128) * (key_space as u128)) >> 64) as u64;
+                let value = self.rng.gen::<f64>();
+                let entry = self.network.entries()[entry_pos];
+                self.buffered_per_entry[entry.index()] += 1;
+                self.input_buffer
+                    .push_back((entry.index(), Tuple::new(root, t, key, value)));
+            }
+            self.ingress_scratch = scratch;
         }
     }
 
@@ -1235,6 +1360,69 @@ mod tests {
         let ratio = report.loss_ratio();
         // First period runs unshed (alpha starts at 0): expect ≈ 0.45.
         assert!(ratio > 0.35 && ratio < 0.55, "ratio {ratio}");
+    }
+
+    #[test]
+    fn batched_ingress_identical_when_nothing_is_shed() {
+        // With the shedder off, the batched pass admits the same tuples
+        // with the same timestamps in the same order as the scalar path,
+        // so the whole report is equivalent.
+        let scalar = {
+            let sim = Simulator::new(unit_network(millis(5)), SimConfig::paper_default());
+            sim.run(&uniform_arrivals(100.0, 10.0), &mut NoShedding, secs(10))
+        };
+        let batched = {
+            let cfg = SimConfig::paper_default().with_ingress_batch(256);
+            let sim = Simulator::new(unit_network(millis(5)), cfg);
+            sim.run(&uniform_arrivals(100.0, 10.0), &mut NoShedding, secs(10))
+        };
+        assert_eq!(scalar.offered, batched.offered);
+        assert_eq!(scalar.completed, batched.completed);
+        assert_eq!(
+            scalar.delay_stats().mean_ms(),
+            batched.delay_stats().mean_ms(),
+            "exact per-arrival timestamps survive batching"
+        );
+    }
+
+    #[test]
+    fn batched_ingress_sheds_at_the_same_rate_as_scalar() {
+        // α = 0.5 under heavy offered load: the batched grouped shed pass
+        // is a different sample path but the same Bernoulli(α) process.
+        let run = |batch: usize| {
+            let cfg = SimConfig::paper_default().with_ingress_batch(batch);
+            let sim = Simulator::new(unit_network(micros(100)), cfg);
+            let mut hook = |_s: &PeriodSnapshot| Decision::entry(0.5);
+            sim.run(&uniform_arrivals(1000.0, 10.0), &mut hook, secs(10))
+        };
+        let scalar = run(1);
+        let batched = run(512);
+        assert_eq!(scalar.offered, batched.offered);
+        let (a, b) = (scalar.loss_ratio(), batched.loss_ratio());
+        assert!((a - b).abs() < 0.05, "scalar {a} vs batched {b}");
+        assert!(b > 0.35 && b < 0.55, "batched ratio {b}");
+    }
+
+    #[test]
+    fn batched_ingress_covers_multiple_entries() {
+        // Two entry streams: the grouped pass walks each entry's stripe
+        // of the batch with that entry's own shedder state.
+        let net = |cost| {
+            let mut b = NetworkBuilder::new();
+            let m1 = b.add("m1", cost, Map::identity());
+            let m2 = b.add("m2", cost, Map::identity());
+            b.entry(m1);
+            b.entry(m2);
+            b.build().unwrap()
+        };
+        let cfg = SimConfig::paper_default().with_ingress_batch(64);
+        let sim = Simulator::new(net(micros(100)), cfg);
+        let mut hook = |_s: &PeriodSnapshot| Decision::entry(0.3);
+        let report = sim.run(&uniform_arrivals(2000.0, 10.0), &mut hook, secs(10));
+        assert_eq!(report.offered, 20_000);
+        let ratio = report.dropped_entry as f64 / report.offered as f64;
+        // First period runs unshed; expect a bit under 0.3.
+        assert!(ratio > 0.2 && ratio < 0.35, "ratio {ratio}");
     }
 
     #[test]

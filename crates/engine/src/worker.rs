@@ -2,14 +2,21 @@
 //!
 //! Extracted from [`rt`](crate::rt) so the single-worker [`RtEngine`]
 //! and the sharded engine in [`shard`](crate::shard) run the *same*
-//! worker implementation: a drain loop with in-queue shed budget,
-//! per-tuple delay accounting against a target, a measured per-tuple
-//! cost EWMA (the per-shard cost model), and panic-catch-and-restart
-//! supervision that loses only the tuple being processed.
+//! worker implementation: a batch drain loop over the shard's ingress
+//! ring ([`SpscRing`]) with in-queue shed budget, per-tuple delay
+//! accounting against a target, a measured per-tuple cost EWMA (the
+//! per-shard cost model), and panic-catch-and-restart supervision that
+//! loses only the tuple being processed.
+//!
+//! The worker pops up to [`WORKER_POP_BATCH`] stamps per ring operation
+//! into a [`PendingBatch`] that is owned by the *supervisor* loop, not
+//! the worker iteration: the batch cursor advances before each tuple is
+//! processed, so a panic mid-batch poisons exactly one tuple and the
+//! restarted loop resumes with the remainder of the batch intact.
 //!
 //! [`RtEngine`]: crate::rt::RtEngine
 
-use crossbeam::channel::Receiver;
+use crate::ring::SpscRing;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -46,6 +53,39 @@ pub struct WorkerConfig {
     pub panic_on_tuple: Option<u64>,
     /// How the service time is consumed.
     pub cost_model: CostModel,
+    /// Pin the worker thread to this CPU (best effort; silently ignored
+    /// where unsupported).
+    pub pin_core: Option<usize>,
+}
+
+/// Maximum stamps a worker pops from its ring per ring operation.
+pub const WORKER_POP_BATCH: usize = 256;
+
+/// A popped-but-not-yet-processed run of stamps. Owned by the supervisor
+/// so a panic mid-batch loses only the tuple whose cursor was already
+/// advanced; the restarted loop drains the rest.
+#[derive(Debug)]
+pub struct PendingBatch {
+    buf: [u64; WORKER_POP_BATCH],
+    next: usize,
+    len: usize,
+}
+
+impl Default for PendingBatch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PendingBatch {
+    /// An empty pending batch.
+    pub fn new() -> Self {
+        Self {
+            buf: [0; WORKER_POP_BATCH],
+            next: 0,
+            len: 0,
+        }
+    }
 }
 
 /// EWMA smoothing for the measured per-tuple cost (single writer — the
@@ -57,13 +97,14 @@ const COST_EWMA_LAMBDA: f64 = 0.2;
 ///
 /// All fields are relaxed atomics: they are statistics, not
 /// synchronization. The invariant the stress tests assert is that every
-/// tuple successfully sent to the worker's queue ends up in exactly one
+/// tuple successfully pushed to the worker's ring ends up in exactly one
 /// of `completed`, `dropped_shed`, or is the single tuple lost to one of
 /// `worker_panics`.
 #[derive(Debug)]
 pub struct WorkerStats {
     /// Tuples currently queued (incremented by the sender on a
-    /// successful send, decremented by the worker on receive).
+    /// successful push, decremented by the worker as it takes each tuple
+    /// up for processing).
     pub queue_len: AtomicU64,
     /// Tuples the worker started processing (including panicked ones).
     pub processed: AtomicU64,
@@ -161,66 +202,114 @@ impl WorkerStats {
         }
         false
     }
+
+    /// Delay/violation accounting for one completed tuple.
+    #[inline]
+    fn record_completion(&self, delay_us: u64, target_us: u64) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.delay_sum_us.fetch_add(delay_us, Ordering::Relaxed);
+        self.delay_max_us.fetch_max(delay_us, Ordering::Relaxed);
+        if delay_us > target_us {
+            self.delayed.fetch_add(1, Ordering::Relaxed);
+            self.violation_sum_us
+                .fetch_add(delay_us - target_us, Ordering::Relaxed);
+        }
+    }
 }
 
-/// One worker lifetime: drains the queue until the channel closes.
-/// Extracted so a panicking iteration can be caught and the loop
-/// restarted without losing the receiver.
-pub fn worker_loop(stats: &WorkerStats, rx: &Receiver<Instant>, cfg: &WorkerConfig) {
+/// One worker lifetime: drains the pending batch, then the ring, until
+/// the ring closes and empties. Extracted so a panicking iteration can
+/// be caught and the loop restarted without losing the rest of the
+/// popped batch (which lives in `pending`, owned by the supervisor).
+pub fn worker_loop(
+    stats: &WorkerStats,
+    ring: &SpscRing,
+    cfg: &WorkerConfig,
+    pending: &mut PendingBatch,
+) {
     let service = cfg.cost.mul_f64(1.0 / cfg.headroom);
     let target_us = cfg.target_delay.as_micros() as u64;
-    while let Ok(enqueued) = rx.recv() {
-        stats.queue_len.fetch_sub(1, Ordering::Relaxed);
-        let nth = stats.processed.fetch_add(1, Ordering::Relaxed) + 1;
-        if cfg.panic_on_tuple == Some(nth) {
-            panic!("injected worker fault at tuple {nth}");
+    // Zero-cost workers (throughput microbenches) take one clock reading
+    // per popped batch rather than two per tuple; with a real service
+    // time the per-tuple readings are needed for the cost EWMA anyway
+    // and delay must be measured at each tuple's own completion.
+    let zero_cost = service.is_zero();
+    let epoch = ring.epoch();
+    loop {
+        if pending.next >= pending.len {
+            let n = ring.pop_wait(&mut pending.buf);
+            if n == 0 {
+                return; // closed and drained
+            }
+            pending.len = n;
+            pending.next = 0;
         }
-        // In-queue shedding: consume budget instead of work.
-        if stats.try_consume_shed_budget() {
-            stats.dropped_shed.fetch_add(1, Ordering::Relaxed);
-            continue;
-        }
-        let t0 = Instant::now();
-        match cfg.cost_model {
-            CostModel::Sleep => std::thread::sleep(service),
-            CostModel::Spin => {
-                while t0.elapsed() < service {
-                    std::hint::spin_loop();
+        let batch_now_ns =
+            if zero_cost { Instant::now().duration_since(epoch).as_nanos() as u64 } else { 0 };
+        while pending.next < pending.len {
+            let stamp = pending.buf[pending.next];
+            // Advance the cursor *before* processing: a panic below
+            // loses exactly this tuple.
+            pending.next += 1;
+            stats.queue_len.fetch_sub(1, Ordering::Relaxed);
+            let nth = stats.processed.fetch_add(1, Ordering::Relaxed) + 1;
+            if cfg.panic_on_tuple == Some(nth) {
+                panic!("injected worker fault at tuple {nth}");
+            }
+            // In-queue shedding: consume budget instead of work.
+            if stats.try_consume_shed_budget() {
+                stats.dropped_shed.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            if zero_cost {
+                let delay_us = batch_now_ns.saturating_sub(stamp) / 1_000;
+                stats.record_completion(delay_us, target_us);
+                continue;
+            }
+            let t0 = Instant::now();
+            match cfg.cost_model {
+                CostModel::Sleep => std::thread::sleep(service),
+                CostModel::Spin => {
+                    while t0.elapsed() < service {
+                        std::hint::spin_loop();
+                    }
                 }
             }
-        }
-        // The measured sample is the *work* share of the service span
-        // (undo the 1/H inflation), which is what shed-budget
-        // conversions and the controller's c(k) estimator consume.
-        stats.update_cost_ewma(t0.elapsed().as_secs_f64() * cfg.headroom * 1e6);
-        let delay_us = enqueued.elapsed().as_micros() as u64;
-        stats.completed.fetch_add(1, Ordering::Relaxed);
-        stats.delay_sum_us.fetch_add(delay_us, Ordering::Relaxed);
-        stats.delay_max_us.fetch_max(delay_us, Ordering::Relaxed);
-        if delay_us > target_us {
-            stats.delayed.fetch_add(1, Ordering::Relaxed);
-            stats
-                .violation_sum_us
-                .fetch_add(delay_us - target_us, Ordering::Relaxed);
+            let done = Instant::now();
+            // The measured sample is the *work* share of the service
+            // span (undo the 1/H inflation), which is what shed-budget
+            // conversions and the controller's c(k) estimator consume.
+            stats.update_cost_ewma(done.duration_since(t0).as_secs_f64() * cfg.headroom * 1e6);
+            let done_ns = done.duration_since(epoch).as_nanos() as u64;
+            let delay_us = done_ns.saturating_sub(stamp) / 1_000;
+            stats.record_completion(delay_us, target_us);
         }
     }
 }
 
 /// Spawns a worker thread under panic supervision: a panic inside an
 /// iteration (e.g. an injected fault) is caught, counted in
-/// [`WorkerStats::worker_panics`], and the loop restarted with the same
-/// receiver — only the tuple being processed is lost. A clean return
-/// means the channel closed: shutdown.
+/// [`WorkerStats::worker_panics`], and the loop restarted against the
+/// same ring and the same pending batch — only the tuple being processed
+/// is lost. A clean return means the ring closed and drained: shutdown.
 pub fn spawn_supervised(
     stats: Arc<WorkerStats>,
-    rx: Receiver<Instant>,
+    ring: Arc<SpscRing>,
     cfg: WorkerConfig,
 ) -> JoinHandle<()> {
-    std::thread::spawn(move || loop {
-        match catch_unwind(AssertUnwindSafe(|| worker_loop(&stats, &rx, &cfg))) {
-            Ok(()) => break,
-            Err(_) => {
-                stats.worker_panics.fetch_add(1, Ordering::Relaxed);
+    std::thread::spawn(move || {
+        if let Some(core) = cfg.pin_core {
+            let _ = crate::affinity::pin_current_thread(core);
+        }
+        let mut pending = PendingBatch::new();
+        loop {
+            match catch_unwind(AssertUnwindSafe(|| {
+                worker_loop(&stats, &ring, &cfg, &mut pending)
+            })) {
+                Ok(()) => break,
+                Err(_) => {
+                    stats.worker_panics.fetch_add(1, Ordering::Relaxed);
+                }
             }
         }
     })
@@ -229,7 +318,7 @@ pub fn spawn_supervised(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crossbeam::channel::bounded;
+    use crate::ring::Push;
 
     fn cfg() -> WorkerConfig {
         WorkerConfig {
@@ -238,19 +327,22 @@ mod tests {
             target_delay: Duration::from_millis(50),
             panic_on_tuple: None,
             cost_model: CostModel::Sleep,
+            pin_core: None,
         }
+    }
+
+    fn feed(ring: &SpscRing, stats: &WorkerStats, n: usize) {
+        assert_eq!(ring.push_repeat(ring.stamp_now(), n), Push::Pushed(n));
+        stats.queue_len.fetch_add(n as u64, Ordering::Relaxed);
     }
 
     #[test]
     fn drains_and_completes() {
         let stats = Arc::new(WorkerStats::new());
-        let (tx, rx) = bounded(64);
-        let handle = spawn_supervised(Arc::clone(&stats), rx, cfg());
-        for _ in 0..10 {
-            tx.send(Instant::now()).unwrap();
-            stats.queue_len.fetch_add(1, Ordering::Relaxed);
-        }
-        drop(tx);
+        let ring = Arc::new(SpscRing::new(64));
+        let handle = spawn_supervised(Arc::clone(&stats), Arc::clone(&ring), cfg());
+        feed(&ring, &stats, 10);
+        ring.close();
         handle.join().unwrap();
         assert_eq!(stats.completed.load(Ordering::Relaxed), 10);
         assert_eq!(stats.queue_len.load(Ordering::Relaxed), 0);
@@ -261,31 +353,42 @@ mod tests {
     #[test]
     fn panic_restart_loses_exactly_one_tuple() {
         let stats = Arc::new(WorkerStats::new());
-        let (tx, rx) = bounded(64);
+        let ring = Arc::new(SpscRing::new(64));
         let mut c = cfg();
         c.panic_on_tuple = Some(3);
-        let handle = spawn_supervised(Arc::clone(&stats), rx, c);
-        for _ in 0..8 {
-            tx.send(Instant::now()).unwrap();
-            stats.queue_len.fetch_add(1, Ordering::Relaxed);
-        }
-        drop(tx);
+        let handle = spawn_supervised(Arc::clone(&stats), Arc::clone(&ring), c);
+        feed(&ring, &stats, 8);
+        ring.close();
         handle.join().unwrap();
         assert_eq!(stats.worker_panics.load(Ordering::Relaxed), 1);
         assert_eq!(stats.completed.load(Ordering::Relaxed), 7);
     }
 
     #[test]
+    fn panic_mid_batch_preserves_rest_of_popped_batch() {
+        // All 8 tuples are pushed in one batch (and popped in one batch);
+        // the panic on tuple 3 must not lose the batch remainder.
+        let stats = Arc::new(WorkerStats::new());
+        let ring = Arc::new(SpscRing::new(64));
+        feed(&ring, &stats, 8);
+        ring.close();
+        let mut c = cfg();
+        c.panic_on_tuple = Some(3);
+        let handle = spawn_supervised(Arc::clone(&stats), Arc::clone(&ring), c);
+        handle.join().unwrap();
+        assert_eq!(stats.worker_panics.load(Ordering::Relaxed), 1);
+        assert_eq!(stats.completed.load(Ordering::Relaxed), 7);
+        assert_eq!(stats.queue_len.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
     fn shed_budget_consumes_instead_of_working() {
         let stats = Arc::new(WorkerStats::new());
         stats.shed_budget.store(5, Ordering::Relaxed);
-        let (tx, rx) = bounded(64);
-        let handle = spawn_supervised(Arc::clone(&stats), rx, cfg());
-        for _ in 0..5 {
-            tx.send(Instant::now()).unwrap();
-            stats.queue_len.fetch_add(1, Ordering::Relaxed);
-        }
-        drop(tx);
+        let ring = Arc::new(SpscRing::new(64));
+        let handle = spawn_supervised(Arc::clone(&stats), Arc::clone(&ring), cfg());
+        feed(&ring, &stats, 5);
+        ring.close();
         handle.join().unwrap();
         assert_eq!(stats.dropped_shed.load(Ordering::Relaxed), 5);
         assert_eq!(stats.completed.load(Ordering::Relaxed), 0);
@@ -295,19 +398,36 @@ mod tests {
     #[test]
     fn spin_model_burns_wall_clock() {
         let stats = Arc::new(WorkerStats::new());
-        let (tx, rx) = bounded(64);
+        let ring = Arc::new(SpscRing::new(64));
         let mut c = cfg();
         c.cost_model = CostModel::Spin;
         c.cost = Duration::from_micros(500);
-        let handle = spawn_supervised(Arc::clone(&stats), rx, c);
+        let handle = spawn_supervised(Arc::clone(&stats), Arc::clone(&ring), c);
         let t0 = Instant::now();
-        for _ in 0..10 {
-            tx.send(Instant::now()).unwrap();
-            stats.queue_len.fetch_add(1, Ordering::Relaxed);
-        }
-        drop(tx);
+        feed(&ring, &stats, 10);
+        ring.close();
         handle.join().unwrap();
         assert!(t0.elapsed() >= Duration::from_millis(5));
         assert_eq!(stats.completed.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn zero_cost_fast_path_still_accounts_delay() {
+        let stats = Arc::new(WorkerStats::new());
+        let ring = Arc::new(SpscRing::new(64));
+        let mut c = cfg();
+        c.cost = Duration::ZERO;
+        // Back-date the stamps by ~5 ms so delays are visibly nonzero.
+        let stamp = ring.stamp_now();
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(ring.push_repeat(stamp, 10), Push::Pushed(10));
+        stats.queue_len.fetch_add(10, Ordering::Relaxed);
+        ring.close();
+        let handle = spawn_supervised(Arc::clone(&stats), Arc::clone(&ring), c);
+        handle.join().unwrap();
+        assert_eq!(stats.completed.load(Ordering::Relaxed), 10);
+        assert!(stats.delay_sum_us.load(Ordering::Relaxed) >= 10 * 4_000);
+        // No cost sample is taken on the zero-cost path.
+        assert!(stats.cost_ewma_us().is_nan());
     }
 }

@@ -1,0 +1,182 @@
+//! Property and stress tests for the bounded SPSC ring behind the
+//! batched front door ([`streamshed_engine::ring::SpscRing`]).
+//!
+//! The properties check the ring against a `VecDeque` reference model
+//! under arbitrary interleavings of batch pushes and batch pops: FIFO
+//! order is exact, the logical capacity is never exceeded, and every
+//! accepted element is popped exactly once. The stress test races a
+//! producer against a consumer (plus a mid-flight `close()`) and asserts
+//! exact conservation: accepted == popped, with no duplicates and no
+//! reordering.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use streamshed_engine::ring::{Push, SpscRing};
+
+/// One scripted step against the ring: push a batch of `n` values or pop
+/// with an `n`-slot buffer.
+#[derive(Debug, Clone)]
+enum Step {
+    Push(usize),
+    Pop(usize),
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (1usize..=64).prop_map(Step::Push),
+        (1usize..=64).prop_map(Step::Pop),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary interleavings of batch pushes and pops agree with a
+    /// `VecDeque` model element for element, and the ring never holds
+    /// more than its logical capacity.
+    #[test]
+    fn ring_matches_vecdeque_model(
+        capacity in 1usize..=96,
+        steps in proptest::collection::vec(step_strategy(), 1..80),
+    ) {
+        let ring = SpscRing::new(capacity);
+        let mut model: VecDeque<u64> = VecDeque::new();
+        let mut next = 0u64;
+        for step in steps {
+            match step {
+                Step::Push(n) => {
+                    let base = next;
+                    match ring.push_with(n, |i| base + i as u64) {
+                        Push::Pushed(accepted) => {
+                            // Partial acceptance is a prefix: exactly the
+                            // first `accepted` values are in the ring.
+                            prop_assert!(accepted <= n);
+                            let free = capacity - model.len();
+                            prop_assert_eq!(accepted, n.min(free));
+                            for i in 0..accepted as u64 {
+                                model.push_back(base + i);
+                            }
+                            next += accepted as u64;
+                        }
+                        Push::Closed => prop_assert!(false, "ring is never closed here"),
+                    }
+                }
+                Step::Pop(n) => {
+                    let mut buf = vec![0u64; n];
+                    let got = ring.pop_n(&mut buf);
+                    prop_assert!(got <= model.len());
+                    prop_assert_eq!(got, n.min(model.len()));
+                    for &v in &buf[..got] {
+                        prop_assert_eq!(Some(v), model.pop_front(), "FIFO order");
+                    }
+                }
+            }
+            prop_assert_eq!(ring.len(), model.len());
+            prop_assert!(ring.len() <= capacity, "capacity is a hard bound");
+        }
+        // Drain: everything the model still holds comes out, in order.
+        let mut buf = vec![0u64; capacity];
+        while !model.is_empty() {
+            let got = ring.pop_n(&mut buf);
+            prop_assert!(got > 0);
+            for &v in &buf[..got] {
+                prop_assert_eq!(Some(v), model.pop_front());
+            }
+        }
+        prop_assert!(ring.is_empty());
+    }
+
+    /// `push_repeat` and single-value `push` obey the same capacity
+    /// accounting as `push_with`.
+    #[test]
+    fn push_variants_agree_on_accounting(
+        capacity in 1usize..=64,
+        batches in proptest::collection::vec(1usize..=48, 1..20),
+    ) {
+        let ring = SpscRing::new(capacity);
+        let mut held = 0usize;
+        for n in batches {
+            let accepted = match ring.push_repeat(7, n) {
+                Push::Pushed(a) => a,
+                Push::Closed => unreachable!(),
+            };
+            prop_assert_eq!(accepted, n.min(capacity - held));
+            held += accepted;
+            if held == capacity {
+                let mut buf = vec![0u64; capacity];
+                let got = ring.pop_n(&mut buf);
+                prop_assert_eq!(got, held);
+                held = 0;
+            }
+        }
+    }
+}
+
+/// Two threads race batched pushes against batched pops, with `close()`
+/// fired mid-flight from the producer side. Conservation must be exact:
+/// every accepted value is popped exactly once, in FIFO order, and
+/// nothing is accepted after close.
+#[test]
+fn two_thread_stress_conserves_under_racing_close() {
+    for round in 0..8u64 {
+        let ring = Arc::new(SpscRing::new(256));
+        let accepted = Arc::new(AtomicU64::new(0));
+
+        let producer = {
+            let ring = Arc::clone(&ring);
+            let accepted = Arc::clone(&accepted);
+            std::thread::spawn(move || {
+                let mut next = 0u64;
+                loop {
+                    let batch = 1 + (next % 97) as usize;
+                    let base = next;
+                    match ring.push_with(batch, |i| base + i as u64) {
+                        Push::Pushed(a) => {
+                            accepted.fetch_add(a as u64, Ordering::SeqCst);
+                            next += a as u64;
+                        }
+                        Push::Closed => return,
+                    }
+                    // Close at a round-dependent point so each run
+                    // exercises a different interleaving.
+                    if next > 20_000 + round * 5_000 {
+                        ring.close();
+                        return;
+                    }
+                    if next % 1024 == 0 {
+                        std::thread::yield_now();
+                    }
+                }
+            })
+        };
+
+        // Consumer: pop_wait returns 0 only when closed AND drained, so a
+        // plain drain loop is also the shutdown handshake.
+        let mut popped = 0u64;
+        let mut expect = 0u64;
+        let mut buf = [0u64; 64];
+        loop {
+            let got = ring.pop_wait(&mut buf);
+            if got == 0 {
+                break;
+            }
+            for &v in &buf[..got] {
+                assert_eq!(v, expect, "round {round}: FIFO order with no gaps");
+                expect += 1;
+            }
+            popped += got as u64;
+        }
+        producer.join().unwrap();
+
+        assert_eq!(
+            popped,
+            accepted.load(Ordering::SeqCst),
+            "round {round}: every accepted value popped exactly once"
+        );
+        assert!(ring.is_closed());
+        assert!(matches!(ring.push(1), Push::Closed), "post-close push rejected");
+    }
+}

@@ -7,7 +7,7 @@
 //! lands in exactly one outcome bucket:
 //!
 //! ```text
-//! offered == dropped_entry + rejected_closed + dispatched
+//! offered == dropped_entry + rejected_at_capacity + rejected_closed + dispatched
 //! dispatched == completed + dropped_shed + worker_panics
 //! ```
 //!
@@ -35,6 +35,7 @@ fn stress_cfg(shards: usize) -> ShardConfig {
         cost_model: CostModel::Sleep,
         dispatch: Dispatch::RoundRobin,
         seed: ShardConfig::DEFAULT_SEED,
+        pin_cores: false,
     }
 }
 
@@ -63,7 +64,7 @@ fn assert_sharded_balance(report: &streamshed_engine::shard::ShardReport) {
     let dispatched: u64 = report.per_shard.iter().map(|s| s.dispatched).sum();
     assert_eq!(
         report.offered,
-        report.dropped_entry + report.rejected_closed + dispatched,
+        report.dropped_entry + report.rejected_at_capacity + report.rejected_closed + dispatched,
         "front-door conservation: {report:?}"
     );
     assert_eq!(
@@ -210,7 +211,10 @@ fn rt_engine_concurrent_offers_balance_with_panic() {
         let report = engine.shutdown();
         assert_eq!(report.offered, (OFFER_THREADS * OFFERS_PER_THREAD) as u64);
         assert_eq!(report.worker_panics, 1, "exactly the injected panic");
-        let admitted = report.offered - report.dropped_entry - report.rejected_closed;
+        let admitted = report.offered
+            - report.dropped_entry
+            - report.rejected_at_capacity
+            - report.rejected_closed;
         assert_eq!(
             admitted,
             report.completed + report.dropped_shed + report.worker_panics,

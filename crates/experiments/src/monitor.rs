@@ -129,6 +129,7 @@ where
         cost_model: CostModel::Sleep,
         dispatch: Dispatch::RoundRobin,
         seed,
+        pin_cores: false,
     };
     let mut options = ObsOptions::for_target(Duration::from_millis(TARGET_MS as u64))
         .with_flight_dir(flight_dir.clone());
@@ -145,9 +146,8 @@ where
     let start = Instant::now();
     let mut next = start + tick;
     while start.elapsed() < run {
-        for _ in 0..per_tick {
-            engine.offer();
-        }
+        // Batched front door: one shed pass + one timestamp per tick.
+        engine.offer_batch(per_tick as usize);
         if polls.is_none() && start.elapsed() >= poll_at {
             let get = |path: &str| {
                 http_get(addr, path, Duration::from_secs(2)).unwrap_or((0, String::new()))

@@ -69,6 +69,7 @@ pub fn run_once(shards: usize, seed: u64) -> ShardRun {
         cost_model: CostModel::Sleep,
         dispatch: Dispatch::RoundRobin,
         seed,
+        pin_cores: false,
     };
     // The controller is the unchanged pole-placement loop; only its cost
     // prior reflects the aggregate plant (c/N — the engine's measured
@@ -89,9 +90,8 @@ pub fn run_once(shards: usize, seed: u64) -> ShardRun {
     let start = Instant::now();
     let mut next = start + tick;
     while start.elapsed() < RUN {
-        for _ in 0..per_tick {
-            engine.offer();
-        }
+        // Batched front door: one shed pass + one timestamp per tick.
+        engine.offer_batch(per_tick as usize);
         let now = Instant::now();
         if next > now {
             std::thread::sleep(next - now);
