@@ -5,7 +5,7 @@
 //! bench [--smoke] [--out PATH] [--check PATH]
 //! ```
 //!
-//! Measures six things and writes them to `BENCH_PR8.json` (or `--out`):
+//! Measures seven things and writes them to `BENCH_PR9.json` (or `--out`):
 //!
 //! 1. **Engine throughput** — tuples/sec of a 60 s overloaded simulation
 //!    (identification network, 400 t/s uniform arrivals, no shedding),
@@ -20,14 +20,19 @@
 //!    ingress path itself), plus the 4-shard *aggregate* spin microbench
 //!    (100 ns/tuple of real CPU burn, batch-fed) that the multicore lane
 //!    gates at ≥ 10M tuples/sec.
-//! 4. **Shard scaling sweep** — aggregate tuples/sec of the real-time
+//! 4. **Loopback network ingest** — tuples/sec through a real
+//!    `NetServer` over TCP loopback at frame sizes {16, 256, 1024},
+//!    reported as a fraction of the in-process `offer_batch` ceiling;
+//!    `--check` holds frame-1024 to an RNG-normalized floor plus an
+//!    absolute ≥ 1M tuples/sec.
+//! 5. **Shard scaling sweep** — aggregate tuples/sec of the real-time
 //!    [`ShardedEngine`] at shards ∈ {1, 2, 4, N_cores} with a CPU-burning
 //!    (spin) cost model, plus efficiency vs linear scaling. On hosts with
 //!    fewer cores than shards the sweep still runs and records the honest
 //!    (flat) numbers.
-//! 5. **Parallel experiment runner** — wall time of regenerating every
+//! 6. **Parallel experiment runner** — wall time of regenerating every
 //!    figure with `--jobs 1` vs `--jobs <cores>`.
-//! 6. **Observability overhead** — ns/period of feeding the diagnostics
+//! 7. **Observability overhead** — ns/period of feeding the diagnostics
 //!    plane, plus the 1-shard engine throughput with the full plane live
 //!    (diagnostics + trace ring + HTTP server) vs plain: the plane must
 //!    cost < 2% of the PR4 hot-path throughput.
@@ -58,6 +63,8 @@ use streamshed_engine::telemetry::{ControlTrace, EventSink as _, LoopMode, MAX_T
 use streamshed_engine::time::{secs, SimTime};
 use streamshed_engine::worker::CostModel;
 use streamshed_experiments as exp;
+use streamshed_net::server::{NetConfig, NetServer};
+use streamshed_net::wire;
 
 /// Single-threaded hot-path throughput recorded by the PR3 harness
 /// (`BENCH_PR3.json`, `throughput.after_tuples_per_sec`). The sharding
@@ -250,6 +257,62 @@ fn measure_spin_aggregate(shards: usize, dur: Duration) -> f64 {
     report.completed as f64 / elapsed
 }
 
+/// Loopback network ingest tuples/sec: a real `NetServer` fronting a
+/// 1-shard zero-cost engine (the same memory-speed drain as
+/// [`measure_offer_path`], so the difference *is* the network plane),
+/// driven by one blocking connection sending bursts of 512 unkeyed
+/// frames of `batch` tuples and reading the 512 replies back. Unkeyed
+/// frames are 16 wire bytes regardless of `batch`, so this measures the
+/// protocol + event loop, not memcpy.
+fn measure_net_ingest(batch: u32, dur: Duration) -> f64 {
+    use std::io::{Read as _, Write as _};
+    let mut cfg = sweep_cfg(1);
+    cfg.cost = Duration::ZERO;
+    cfg.queue_capacity = 1 << 16;
+    let engine = std::sync::Arc::new(ShardedEngine::spawn(cfg, NoShedding));
+    let net = NetServer::start(
+        NetConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            ..NetConfig::default()
+        },
+        engine.clone(),
+        None,
+    )
+    .expect("net server binds");
+    let mut sock = std::net::TcpStream::connect(net.addr()).expect("loopback connect");
+    sock.set_nodelay(true).expect("nodelay");
+    // 512 outstanding 16-byte frames (8 KiB in flight) stays far below
+    // the server's write-buffer backpressure threshold for the replies.
+    const BURST: usize = 512;
+    let mut wbuf = Vec::with_capacity(BURST * wire::DATA_HEADER);
+    for s in 0..BURST as u64 {
+        wire::encode_frame_into(&mut wbuf, s, batch, None);
+    }
+    let mut rbuf = vec![0u8; BURST * wire::REPLY_LEN];
+    let t0 = Instant::now();
+    let mut tuples = 0u64;
+    while t0.elapsed() < dur {
+        sock.write_all(&wbuf).expect("burst write");
+        sock.read_exact(&mut rbuf).expect("burst replies");
+        let mut off = 0usize;
+        while off < rbuf.len() {
+            let (reply, used) = wire::decode_reply(&rbuf[off..])
+                .expect("well-formed reply")
+                .expect("complete reply");
+            tuples += u64::from(reply.accepted);
+            off += used;
+        }
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    drop(sock);
+    net.shutdown();
+    if let Ok(engine) = std::sync::Arc::try_unwrap(engine) {
+        black_box(engine.shutdown());
+    }
+    tuples as f64 / elapsed
+}
+
 /// Feeds `engine` as fast as backpressure allows for `dur` and returns
 /// completions over the full wall time including the drain.
 fn drive_sharded(engine: ShardedEngine, dur: Duration) -> f64 {
@@ -387,7 +450,7 @@ fn measure_runner(jobs: usize, seed: u64) -> f64 {
 
 fn main() {
     let mut smoke = false;
-    let mut out = PathBuf::from("BENCH_PR8.json");
+    let mut out = PathBuf::from("BENCH_PR9.json");
     let mut check: Option<PathBuf> = None;
 
     let mut args = std::env::args().skip(1);
@@ -418,12 +481,12 @@ fn main() {
     let alphas = [0.005, 0.01, 0.05, 0.1];
     let cores = host_cores();
 
-    eprintln!("[1/6] engine throughput (best of {reps})...");
+    eprintln!("[1/7] engine throughput (best of {reps})...");
     let (best_wall, offered) = measure_throughput(reps);
     let after_tps = offered as f64 / best_wall;
     let calibration = measure_calibration();
 
-    eprintln!("[2/6] shedder decision rate ({decisions} decisions per alpha)...");
+    eprintln!("[2/7] shedder decision rate ({decisions} decisions per alpha)...");
     let per_alpha: Vec<serde_json::Value> = alphas
         .iter()
         .map(|&alpha| {
@@ -449,7 +512,7 @@ fn main() {
         .collect();
 
     let offer_dur = Duration::from_secs(if smoke { 1 } else { 2 });
-    eprintln!("[3/6] offer path, single vs batched ({} s per point)...", offer_dur.as_secs());
+    eprintln!("[3/7] offer path, single vs batched ({} s per point)...", offer_dur.as_secs());
     let single_offer_tps = measure_offer_path(1, offer_dur);
     eprintln!("    offer(): {single_offer_tps:.0} tuples/sec");
     let batch_sizes = [16usize, 256, 1024];
@@ -466,7 +529,21 @@ fn main() {
         AGG_SPIN_COST.as_nanos()
     );
 
-    eprintln!("[4/6] shard scaling sweep ({} s per point, {cores} cores)...", sweep_dur.as_secs());
+    eprintln!(
+        "[4/7] loopback network ingest ({} s per frame size)...",
+        offer_dur.as_secs()
+    );
+    let mut net_points = Vec::new();
+    for (&b, &(_, ceiling)) in batch_sizes.iter().zip(&batch_tps) {
+        let tps = measure_net_ingest(b as u32, offer_dur);
+        eprintln!(
+            "    net_ingest(frame={b}): {tps:.0} tuples/sec ({:.1}% of in-process ceiling)",
+            100.0 * tps / ceiling
+        );
+        net_points.push((b, tps, tps / ceiling));
+    }
+
+    eprintln!("[5/7] shard scaling sweep ({} s per point, {cores} cores)...", sweep_dur.as_secs());
     let counts = sweep_shards(cores);
     let mut sweep_points = Vec::new();
     let mut tps_by_count = std::collections::BTreeMap::new();
@@ -490,12 +567,12 @@ fn main() {
         .collect();
 
     let jobs_n = exp::parallel::default_jobs();
-    eprintln!("[5/6] experiment runner, --jobs 1 vs --jobs {jobs_n}...");
+    eprintln!("[6/7] experiment runner, --jobs 1 vs --jobs {jobs_n}...");
     let wall_1 = measure_runner(1, 7);
     let wall_n = measure_runner(jobs_n, 7);
 
     let plane_n: u64 = if smoke { 200_000 } else { 2_000_000 };
-    eprintln!("[6/6] observability overhead ({plane_n} plane records, plain vs observed engine)...");
+    eprintln!("[7/7] observability overhead ({plane_n} plane records, plain vs observed engine)...");
     let record_ns = measure_plane_record(plane_n);
     let (mut plain_tps, mut observed_tps) = (0.0f64, 0.0f64);
     for _ in 0..if smoke { 1 } else { 2 } {
@@ -561,6 +638,27 @@ fn main() {
                  per tuple; on a 1-core host the aggregate spin point is core-bound and \
                  legitimately far below the multicore gate",
     });
+    let net_ingest = serde_json::json!({
+        "scenario": format!(
+            "loopback TCP, 1 worker NetServer over the same zero-cost 1-shard engine as \
+             offer_path, one connection pipelining 512-frame bursts of unkeyed frames, \
+             {} s per point; unkeyed frames are 16 wire bytes at any count",
+            offer_dur.as_secs()
+        ),
+        "host_cores": cores,
+        "frames": net_points.iter().map(|&(b, tps, frac)| serde_json::json!({
+            "frame_tuples": b,
+            "tuples_per_sec": tps,
+            "fraction_of_inprocess_ceiling": frac,
+        })).collect::<Vec<_>>(),
+        "frame_1024_tuples_per_sec": net_points.last().map(|&(_, tps, _)| tps),
+        "calibration_rng_decisions_per_sec": calibration,
+        "gate": "frame-1024 loopback ingest RNG-normalized within 40% of recorded, and \
+                 >= 1M tuples/sec absolute on any host (checked by --check)",
+        "note": "the fraction-of-ceiling column isolates the network plane's cost: \
+                 syscalls, poll wakeups, frame decode, and reply encode amortized over \
+                 the frame's tuple count — larger frames approach the in-process rate",
+    });
     let sharded = serde_json::json!({
         "scenario": format!(
             "real-time ShardedEngine, NoShedding, spin cost {} us/tuple, round-robin dispatch, {} s per point, completions / wall incl. drain",
@@ -598,13 +696,14 @@ fn main() {
         "note": "the plane runs once per 50 ms control period on the controller thread, never on the per-tuple path; record_ns bounds its per-period cost",
     });
     let report = serde_json::json!({
-        "bench": "PR8 batched lock-free ingress: offer_batch front door, SPSC rings, multicore gates",
+        "bench": "PR9 network ingestion plane: zero-copy batched wire protocol, poll-based listeners, loadgen fleet",
         "mode": if smoke { "smoke" } else { "full" },
         "generated_unix": generated_unix,
         "host_cores": cores,
         "throughput": throughput,
         "shedder": shedder,
         "offer_path": offer_path,
+        "net_ingest": net_ingest,
         "sharded": sharded,
         "parallel_runner": parallel_runner,
         "diagnostics": diagnostics,
@@ -685,6 +784,48 @@ fn check_offer_path(
     }
     if !ok {
         eprintln!("FAIL: aggregate spin microbench below 10M tuples/sec on a {cores}-core host");
+        std::process::exit(1);
+    }
+}
+
+/// The loopback ingest gate of `--check` (PR9+ reports only): frame-1024
+/// network throughput must hold an RNG-normalized 60% of the recorded
+/// value *and* an absolute ≥ 1M tuples/sec on any host — the acceptance
+/// floor for a single connection on the 1-core reference machine.
+fn check_net_ingest(
+    report: &serde_json::Value,
+    path: &std::path::Path,
+    recorded_cal: f64,
+    cal: f64,
+    dur: Duration,
+) {
+    const ABS_FLOOR: f64 = 1_000_000.0;
+    let recorded = report_f64(report, path, "net_ingest.frame_1024_tuples_per_sec");
+    let norm = recorded_cal / cal;
+    let floor = recorded * 0.6;
+    let mut ok = false;
+    for attempt in 1..=3 {
+        let tps = measure_net_ingest(1024, dur);
+        println!(
+            "net-ingest gate, attempt {attempt}: recorded {recorded:.0} tuples/sec, \
+             measured {tps:.0} (normalized {:.0}), floor (60%) {floor:.0}, \
+             absolute floor {ABS_FLOOR:.0}",
+            tps * norm
+        );
+        if tps * norm >= floor && tps >= ABS_FLOOR {
+            println!(
+                "OK: loopback frame-1024 ingest within 40% of recorded and >= 1M tuples/sec"
+            );
+            ok = true;
+            break;
+        }
+    }
+    if !ok {
+        eprintln!(
+            "FAIL: loopback network ingest below the recorded baseline or the 1M \
+             tuples/sec floor vs {}",
+            path.display()
+        );
         std::process::exit(1);
     }
 }
@@ -829,6 +970,12 @@ fn run_check(path: &std::path::Path) {
         check_offer_path(&report, path, recorded_cal, cal, cores, dur);
     } else {
         println!("no offer_path section in {}; offer-path gates skipped", path.display());
+    }
+
+    if report.get("net_ingest").is_some() {
+        check_net_ingest(&report, path, recorded_cal, cal, dur);
+    } else {
+        println!("no net_ingest section in {}; net-ingest gate skipped", path.display());
     }
 
     // Gate 4 only exists for reports that carry a diagnostics section

@@ -433,6 +433,18 @@ impl RtEngine {
         self.offer_batch(keys.len())
     }
 
+    /// Lazy-key variant mirroring
+    /// [`ShardedEngine::offer_batch_keyed_with`](crate::shard::ShardedEngine::offer_batch_keyed_with):
+    /// the single-worker engine routes by queue, not key, so the keys
+    /// are never materialized at all — the network plane's
+    /// shed-before-decode path degenerates to a pure count admission.
+    pub fn offer_batch_keyed_with<F>(&self, n: usize, _key_at: F) -> BatchResult
+    where
+        F: FnMut(usize) -> u64,
+    {
+        self.offer_batch(n)
+    }
+
     /// Current queue length (outstanding tuples).
     pub fn queue_len(&self) -> u64 {
         self.work.queue_len.load(Ordering::Relaxed)

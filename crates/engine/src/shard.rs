@@ -399,22 +399,25 @@ impl ShardedEngine {
         let mut engine = Self::spawn_sink(cfg, hook, Some(plane.clone()));
         let server = match &options.http {
             Some(http) => {
-                let global = Arc::clone(&engine.global);
-                let views: Vec<ShardView> = engine.shards.iter().map(|s| s.view()).collect();
-                let diag_plane = plane.clone();
-                let metrics: MetricsFn = Arc::new(move || {
-                    let mut p = PromText::new("streamshed");
-                    render_prometheus(&global, &views, &mut p);
-                    diag_plane.health().render_prom(&mut p);
-                    diag_plane.render_adapt_prom(&mut p);
-                    p.finish()
-                });
+                let metrics = metrics_fn(&engine, Some(plane.clone()));
                 Some(ObsServer::start(http.clone(), plane.clone(), metrics)?)
             }
             None => None,
         };
         engine.obs = Some(ObsHandle::from_parts(plane, server));
         Ok(engine)
+    }
+
+    /// A `/metrics` renderer over this engine's live counters — the same
+    /// closure [`spawn_observed`](Self::spawn_observed) hands its HTTP
+    /// server, exposed so an external front end (e.g. the network
+    /// ingestion plane) can serve the engine's `streamshed_*` families
+    /// from its own listener. Includes the diagnostics and adapt
+    /// families when the engine was spawned with an observability plane
+    /// attached. The closure captures only `Arc`s, so it stays valid
+    /// for the engine's whole lifetime.
+    pub fn metrics_fn(&self) -> MetricsFn {
+        metrics_fn(self, self.obs.as_ref().map(|o| o.plane.clone()))
     }
 
     /// The observability attachment, when spawned via
@@ -714,24 +717,41 @@ impl ShardedEngine {
     /// Entry-shedder decisions are per arrival, exactly as
     /// [`offer_keyed`](Self::offer_keyed) would have made them.
     pub fn offer_batch_keyed(&self, keys: &[u64]) -> BatchResult {
+        self.offer_batch_keyed_with(keys.len(), |i| keys[i])
+    }
+
+    /// Keyed batch admission with *lazy* key materialization: `key_at(i)`
+    /// is called only for arrivals the entry shedder admits. This is the
+    /// network plane's shed-before-decode seam — a frame of `n` keys can
+    /// be admitted straight out of the receive buffer, and keys the
+    /// shedder drops are never decoded at all (under heavy shedding a
+    /// frame costs one header read plus one shedder pass). Semantics are
+    /// otherwise identical to [`offer_batch_keyed`](Self::offer_batch_keyed):
+    /// per-arrival decisions in index order, sticky key→shard routing,
+    /// one grouping pass and one ring reservation per target shard.
+    pub fn offer_batch_keyed_with<F>(&self, n: usize, mut key_at: F) -> BatchResult
+    where
+        F: FnMut(usize) -> u64,
+    {
         let mut res = BatchResult::default();
         let mut counts = vec![0u64; self.cfg.shards];
-        for chunk in keys.chunks(OFFER_BATCH_MAX) {
-            self.global
-                .offered
-                .fetch_add(chunk.len() as u64, Ordering::Relaxed);
-            res.offered += chunk.len() as u64;
+        let mut base = 0usize;
+        while base < n {
+            let len = (n - base).min(OFFER_BATCH_MAX);
+            self.global.offered.fetch_add(len as u64, Ordering::Relaxed);
+            res.offered += len as u64;
             let alpha = self.global.alpha();
             counts.iter_mut().for_each(|c| *c = 0);
             let shards = self.cfg.shards;
-            let drops = self.global.shedder.shed_batch_each(alpha, chunk.len() as u64, |i| {
-                counts[key_to_shard(chunk[i], shards)] += 1;
+            let drops = self.global.shedder.shed_batch_each(alpha, len as u64, |i| {
+                counts[key_to_shard(key_at(base + i), shards)] += 1;
             });
             if drops > 0 {
                 self.global.dropped_entry.fetch_add(drops, Ordering::Relaxed);
                 res.dropped_entry += drops;
             }
             self.push_counts(&counts, &mut res);
+            base += len;
         }
         res
     }
@@ -813,6 +833,23 @@ impl ShardedEngine {
         }
         p.finish()
     }
+}
+
+/// Builds the `/metrics` closure over cloned counter handles (and the
+/// observability plane's families when one is attached) — shared by
+/// [`ShardedEngine::spawn_observed`] and [`ShardedEngine::metrics_fn`].
+fn metrics_fn(engine: &ShardedEngine, plane: Option<ObsPlane>) -> MetricsFn {
+    let global = Arc::clone(&engine.global);
+    let views: Vec<ShardView> = engine.shards.iter().map(|s| s.view()).collect();
+    Arc::new(move || {
+        let mut p = PromText::new("streamshed");
+        render_prometheus(&global, &views, &mut p);
+        if let Some(plane) = &plane {
+            plane.health().render_prom(&mut p);
+            plane.render_adapt_prom(&mut p);
+        }
+        p.finish()
+    })
 }
 
 /// Renders the global counters plus the `{shard="i"}`-labelled families

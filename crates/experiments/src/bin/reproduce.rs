@@ -146,7 +146,7 @@ fn main() {
                 eprintln!(
                     "usage: reproduce [--out DIR] [--seed N] [--jobs N] [fig5 fig6 fig7 \
                      fig8 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 overhead \
-                     ablations extensions faults adaptive sharded monitor | all]\n       \
+                     ablations extensions faults adaptive sharded monitor net | all]\n       \
                      reproduce trace --scenario KEY [--out DIR] [--seed N]\n       \
                      reproduce campaign [--lane sanity|stress|full] [--filter GLOB] \
                      [--list] [--sabotage] [--out DIR] [--seed N] [--jobs N]\n       \
@@ -161,6 +161,10 @@ fn main() {
                      not part of 'all'\n       \
                      monitor: wall-clock observability-plane self-test (live /metrics, \
                      /health, /trace under injected faults); not part of 'all'\n       \
+                     net: wall-clock network front door — seeded loadgen fleet at 3x \
+                     overload over TCP loopback (convergence, cross-boundary \
+                     conservation, shedding fairness, connection hold); not part \
+                     of 'all'\n       \
                      --jobs N: regenerate figures on N worker threads (0 or default: \
                      one per core); results are byte-identical for any N\n       \
                      scenarios: {}",
@@ -219,7 +223,7 @@ fn main() {
             name.as_str(),
             "fig5" | "fig6" | "fig7" | "fig8" | "fig12" | "fig13" | "fig14" | "fig15"
                 | "fig16" | "fig17" | "fig18" | "fig19" | "overhead" | "ablations"
-                | "extensions" | "faults" | "adaptive" | "sharded" | "monitor"
+                | "extensions" | "faults" | "adaptive" | "sharded" | "monitor" | "net"
         );
         if !known {
             eprintln!("unknown figure '{name}', skipping");
@@ -256,6 +260,7 @@ fn main() {
             // wall-clock, so runs are seedable but not byte-identical.
             "sharded" => exp::sharded::run(seed),
             "monitor" => exp::monitor::run(seed),
+            "net" => exp::net::run(seed),
             other => unreachable!("unknown figure '{other}' survived filtering"),
         };
         (fig, start.elapsed())

@@ -62,6 +62,7 @@ pub mod fig17;
 pub mod fig18;
 pub mod fig19;
 pub mod monitor;
+pub mod net;
 pub mod overhead;
 pub mod parallel;
 pub mod render;

@@ -1,0 +1,268 @@
+//! `reproduce net` — the controller behind a real network front door.
+//!
+//! Everything the paper proves about the control loop is derived for an
+//! in-process plant; this scenario closes the last gap to a deployable
+//! system by putting a real TCP hop between the workload and the
+//! engine. A seeded client fleet drives the wire protocol at 3× the
+//! engine's service capacity over loopback, and the run must show:
+//!
+//! 1. **Convergence** — the unchanged pole-placement CTRL strategy
+//!    converges the measured mean tuple delay to the target even though
+//!    arrivals now pass through sockets, frames, and per-connection
+//!    buffers (the shed decision still happens before tuple
+//!    materialization, so overload never turns into decode work).
+//! 2. **Conservation across the boundary** — the fleet's reply-derived
+//!    ledger, the listener's counters, and the engine's ground truth
+//!    agree exactly: `sent == accepted + shed + rejected + lost`.
+//! 3. **Fairness** — entry shedding is per-arrival Bernoulli, so the
+//!    accepted fraction must be statistically identical across
+//!    connections (Jain index ≈ 1).
+//! 4. **Connection capacity** — a separate idle fleet holds thousands
+//!    of concurrent connections (sized to the process fd budget; the
+//!    cross-process 10k+ demonstration lives in the CI `net-smoke`
+//!    lane and README).
+//!
+//! Wall-clock and therefore not byte-deterministic; excluded from
+//! `reproduce all` like `sharded` and `monitor`.
+
+use crate::{FigureResult, Series};
+use std::sync::Arc;
+use std::time::Duration;
+use streamshed_control::loop_::LoopConfig;
+use streamshed_control::strategy::CtrlStrategy;
+use streamshed_engine::shard::{Dispatch, ShardConfig, ShardedEngine};
+use streamshed_engine::telemetry::SharedRecorder;
+use streamshed_engine::worker::CostModel;
+use streamshed_net::loadgen::{self, Arrivals, LoadgenConfig, Mode};
+use streamshed_net::server::{NetConfig, NetServer};
+use streamshed_net::sys;
+
+/// Nominal per-tuple service cost (≈ 500 t/s capacity at 1 shard).
+const COST: Duration = Duration::from_millis(2);
+/// Control period of the controller.
+const PERIOD: Duration = Duration::from_millis(50);
+/// Delay target the controller must converge to, ms.
+pub const TARGET_MS: f64 = 250.0;
+/// Wall-clock length of the overload phase.
+const RUN: Duration = Duration::from_secs(6);
+/// Overload factor vs the engine's ~500 t/s capacity.
+const OVERLOAD: f64 = 3.0;
+/// Client connections in the overload fleet.
+const FLEET: usize = 8;
+
+/// Outcome of the 3× overload phase.
+#[derive(Debug, Clone)]
+pub struct NetRun {
+    /// Steady-state mean delay (completed-weighted, second half), ms.
+    pub steady_delay_ms: f64,
+    /// Mean delay trajectory `(s, ms)`.
+    pub trajectory: Vec<(f64, f64)>,
+    /// Tuples the fleet put on the wire.
+    pub sent: u64,
+    /// Tuples the engine dispatched into shard rings.
+    pub accepted: u64,
+    /// Tuples dropped by the entry shedder (reported per frame).
+    pub shed: u64,
+    /// Fleet / listener / engine ledgers all balance and agree.
+    pub conserved: bool,
+    /// Jain fairness index over per-connection accepted ratios.
+    pub fairness_jain: f64,
+    /// Coefficient of variation of per-connection shed ratios.
+    pub shed_ratio_cv: f64,
+}
+
+/// Runs the CTRL strategy behind a loopback `NetServer` under a 3×
+/// overload fleet. `seed` drives both the entry shedder and the fleet's
+/// arrival schedules.
+pub fn run_overload(seed: u64) -> NetRun {
+    let cfg = ShardConfig {
+        shards: 1,
+        cost: COST,
+        period: PERIOD,
+        target_delay: Duration::from_millis(TARGET_MS as u64),
+        headroom: 0.97,
+        queue_capacity: 8192,
+        panic_on_tuple: None,
+        cost_model: CostModel::Sleep,
+        dispatch: Dispatch::RoundRobin,
+        seed,
+        pin_cores: false,
+    };
+    let loop_cfg = LoopConfig::paper_default()
+        .with_target_delay_ms(TARGET_MS)
+        .with_period_ms(PERIOD.as_millis() as f64)
+        .with_headroom(0.97)
+        .with_prior_cost_us(COST.as_micros() as f64);
+    let strategy = CtrlStrategy::from_config(&loop_cfg);
+    let recorder = SharedRecorder::with_capacity(4096);
+    let engine = Arc::new(ShardedEngine::spawn_recorded(cfg, strategy, Some(recorder.clone())));
+    let server = NetServer::start(
+        NetConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            ..NetConfig::default()
+        },
+        engine.clone(),
+        None,
+    )
+    .expect("loopback listener binds");
+    let stats = server.stats();
+
+    // ~500 t/s capacity × OVERLOAD, split across the fleet; keyed
+    // frames so the shed-before-decode path is the one exercised.
+    let capacity = 1e6 / COST.as_micros() as f64;
+    let report = loadgen::run(&LoadgenConfig {
+        addr: server.addr(),
+        connections: FLEET,
+        rate: capacity * OVERLOAD,
+        batch: 16,
+        secs: RUN.as_secs_f64(),
+        seed,
+        mode: Mode::Open,
+        arrivals: Arrivals::Poisson,
+        keyed: true,
+        ..LoadgenConfig::default()
+    })
+    .expect("fleet runs");
+
+    server.shutdown();
+    let engine_report = Arc::try_unwrap(engine)
+        .unwrap_or_else(|_| panic!("engine still referenced"))
+        .shutdown();
+
+    // Cross-boundary conservation: all three ledgers, bucket for bucket.
+    let l = |v: &std::sync::atomic::AtomicU64| v.load(std::sync::atomic::Ordering::Relaxed);
+    let conserved = report.conserved()
+        && stats.tuples_balance()
+        && engine_report.counters_balance()
+        && report.accepted == l(&stats.tuples_accepted)
+        && report.shed == l(&stats.tuples_shed)
+        && report.sent - report.lost == engine_report.offered
+        && report.shed == engine_report.dropped_entry;
+
+    let traces = recorder.snapshot();
+    let trajectory: Vec<(f64, f64)> = traces
+        .iter()
+        .filter(|t| t.mean_delay_ms.is_finite())
+        .map(|t| (t.time_s, t.mean_delay_ms))
+        .collect();
+    let half = RUN.as_secs_f64() / 2.0;
+    let (mut sum, mut n) = (0.0f64, 0u64);
+    for t in &traces {
+        if t.time_s >= half && t.completed > 0 && t.mean_delay_ms.is_finite() {
+            sum += t.mean_delay_ms * t.completed as f64;
+            n += t.completed;
+        }
+    }
+    NetRun {
+        steady_delay_ms: if n > 0 { sum / n as f64 } else { f64::NAN },
+        trajectory,
+        sent: report.sent,
+        accepted: report.accepted,
+        shed: report.shed,
+        conserved,
+        fairness_jain: report.fairness_jain,
+        shed_ratio_cv: report.shed_ratio_cv,
+    }
+}
+
+/// Holds an idle fleet of `target` connections (clamped to the process
+/// fd budget) against a fresh listener and returns how many were
+/// concurrently established.
+pub fn run_hold(seed: u64, target: usize) -> (usize, usize) {
+    // Client and server sockets share this process's fd table: 2 fds
+    // per connection plus slack for the engine and listener.
+    let budget = (sys::nofile_limit().unwrap_or(1024) as usize).saturating_sub(256) / 2;
+    let held_target = target.min(budget);
+    let mut cfg = ShardConfig::demo(1);
+    cfg.cost = Duration::ZERO;
+    cfg.cost_model = CostModel::Spin;
+    let engine = Arc::new(ShardedEngine::spawn(cfg, streamshed_engine::hook::NoShedding));
+    let server = NetServer::start(
+        NetConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            max_conns: held_target + 16,
+            idle_timeout: Duration::from_secs(60),
+            ..NetConfig::default()
+        },
+        engine.clone(),
+        None,
+    )
+    .expect("hold listener binds");
+    let report = loadgen::run(&LoadgenConfig {
+        addr: server.addr(),
+        connections: held_target,
+        rate: 0.0, // hold only: connect, stay silent, disconnect at the end
+        secs: 2.0,
+        seed,
+        ..LoadgenConfig::default()
+    })
+    .expect("hold fleet runs");
+    server.shutdown();
+    drop(engine);
+    (report.connections_established, held_target)
+}
+
+/// Regenerates the network-plane scenario. The CLI `--seed` seeds the
+/// entry shedder and every per-connection arrival schedule.
+pub fn run(seed: u64) -> FigureResult {
+    let overload = run_overload(seed);
+    let (held, held_target) = run_hold(seed, 2000);
+
+    let series = vec![Series::new(
+        format!("{FLEET}-conn fleet @ {OVERLOAD}x overload"),
+        overload.trajectory.clone(),
+    )];
+    let summary = vec![
+        ("target_delay_ms".to_string(), TARGET_MS),
+        ("steady_delay_ms".to_string(), overload.steady_delay_ms),
+        ("overload_factor".to_string(), OVERLOAD),
+        ("tuples_sent".to_string(), overload.sent as f64),
+        ("tuples_accepted".to_string(), overload.accepted as f64),
+        ("tuples_shed".to_string(), overload.shed as f64),
+        (
+            "conservation_all_ledgers".to_string(),
+            if overload.conserved { 1.0 } else { 0.0 },
+        ),
+        ("fairness_jain".to_string(), overload.fairness_jain),
+        ("shed_ratio_cv".to_string(), overload.shed_ratio_cv),
+        ("connections_held".to_string(), held as f64),
+        ("connections_held_target".to_string(), held_target as f64),
+    ];
+    let notes = vec![
+        format!(
+            "steady-state delay {:.0} ms vs target {TARGET_MS:.0} ms ({:+.0}% off) \
+             under {OVERLOAD}x overload arriving over TCP loopback",
+            overload.steady_delay_ms,
+            (overload.steady_delay_ms / TARGET_MS - 1.0) * 100.0,
+        ),
+        format!(
+            "conservation across the network boundary: fleet, listener, and engine \
+             ledgers {} ({} sent = {} accepted + {} shed + rejected + lost)",
+            if overload.conserved { "agree exactly" } else { "DISAGREE" },
+            overload.sent,
+            overload.accepted,
+            overload.shed,
+        ),
+        format!(
+            "shedding fairness across {FLEET} connections: Jain index {:.4} \
+             (1.0 = perfectly even), per-connection shed-ratio CV {:.3}",
+            overload.fairness_jain, overload.shed_ratio_cv,
+        ),
+        format!(
+            "idle fleet held {held}/{held_target} concurrent connections in-process \
+             (fd-budget-clamped; the 10k+ cross-process demonstration is the CI \
+             net-smoke lane / README quickstart)"
+        ),
+    ];
+    FigureResult {
+        id: "net".into(),
+        title: "Network front door: control, conservation, and fairness over TCP".into(),
+        x_label: "time (s)".into(),
+        y_label: "mean delay (ms)".into(),
+        series,
+        summary,
+        notes,
+    }
+}

@@ -1,0 +1,378 @@
+//! The length-prefixed binary wire protocol.
+//!
+//! Design goals, in order: (1) the *shed path must be nearly free* — a
+//! frame the entry shedder drops should cost one header read, never a
+//! per-tuple materialization; (2) zero copies between the socket buffer
+//! and the engine's front door; (3) unambiguous framing that survives
+//! arbitrary TCP segmentation and rejects garbage without desync.
+//!
+//! ## Data frame (client → server), little-endian
+//!
+//! | offset | size | field   | notes                                   |
+//! |--------|------|---------|-----------------------------------------|
+//! | 0      | 1    | magic₀  | `0xF5` (non-ASCII: never an HTTP method)|
+//! | 1      | 1    | magic₁  | `0x9E`                                  |
+//! | 2      | 1    | version | `1`                                     |
+//! | 3      | 1    | flags   | bit 0 = keyed; other bits must be zero  |
+//! | 4      | 4    | count   | tuples in the frame (u32)               |
+//! | 8      | 8    | seq     | opaque client token, echoed in the reply|
+//! | 16     | 8·n  | keys    | keyed frames only: `count` u64 keys     |
+//!
+//! An *unkeyed* frame carries no payload at all — `count` anonymous
+//! tuples are admitted through `offer_batch(count)`, so a 1024-tuple
+//! frame is 16 bytes on the wire. A *keyed* frame's keys are decoded
+//! lazily through `offer_batch_keyed_with`: the entry shedder decides
+//! per arrival first and only admitted indices are ever read out of the
+//! receive buffer ([`FrameRef::key`] is a bounds-checked 8-byte load).
+//!
+//! ## Reply frame (server → client), 28 bytes
+//!
+//! | offset | size | field             |
+//! |--------|------|-------------------|
+//! | 0      | 2    | magic `0xF5 0x9F` |
+//! | 2      | 1    | version (`1`)     |
+//! | 3      | 1    | status            |
+//! | 4      | 4    | accepted          |
+//! | 8      | 4    | shed              |
+//! | 12     | 4    | rejected_capacity |
+//! | 16     | 4    | rejected_closed   |
+//! | 20     | 8    | seq (echo)        |
+//!
+//! Every data frame gets exactly one reply echoing its `seq`, carrying
+//! the PR 8 four-bucket ledger across the wire: `count == accepted +
+//! shed + rejected_capacity + rejected_closed` for an OK reply. A
+//! non-OK status ([`Reply::STATUS_BAD_FRAME`] / `STATUS_OVERSIZED`)
+//! reports all-zero buckets and the server closes the connection —
+//! after a framing error the stream offset is untrusted, so resync is
+//! not attempted.
+//!
+//! ## Versioning
+//!
+//! The first four header bytes (magic, version, flags) sit at fixed
+//! offsets in *every* protocol version, so a V1 endpoint rejects a
+//! hypothetical V2 frame deterministically from its header alone
+//! ([`WireError::BadVersion`]) instead of misparsing it; unknown flag
+//! bits are likewise rejected, reserving them for compatible extension.
+
+/// First magic byte, shared by both directions. Deliberately non-ASCII:
+/// the server sniffs binary-vs-HTTP on this byte, and no HTTP/1.x
+/// request can start with it.
+pub const MAGIC0: u8 = 0xF5;
+/// Second magic byte of a data frame.
+pub const MAGIC1_DATA: u8 = 0x9E;
+/// Second magic byte of a reply frame.
+pub const MAGIC1_REPLY: u8 = 0x9F;
+/// The protocol version this module speaks.
+pub const VERSION: u8 = 1;
+/// Flag bit 0: the frame carries one u64 key per tuple.
+pub const FLAG_KEYED: u8 = 0x01;
+/// Data frame header size, bytes.
+pub const DATA_HEADER: usize = 16;
+/// Reply frame size, bytes.
+pub const REPLY_LEN: usize = 28;
+/// Default cap on tuples per frame (keyed payload ≤ 512 KiB). Servers
+/// may configure a lower cap; see [`decode_frame`].
+pub const DEFAULT_MAX_TUPLES: u32 = 65_536;
+
+/// A framing violation. All variants are protocol errors after which
+/// the connection must be closed (the stream offset is untrusted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The first two bytes are not a data-frame magic.
+    BadMagic([u8; 2]),
+    /// Unknown protocol version.
+    BadVersion(u8),
+    /// Unknown flag bits set.
+    BadFlags(u8),
+    /// `count` exceeds the receiver's configured cap.
+    Oversized {
+        /// Tuples claimed by the header.
+        count: u32,
+        /// The receiver's cap.
+        max: u32,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
+            WireError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::BadFlags(b) => write!(f, "unknown flag bits {b:#04x}"),
+            WireError::Oversized { count, max } => {
+                write!(f, "frame of {count} tuples exceeds cap {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A decoded data frame *borrowing* its key bytes from the receive
+/// buffer — nothing is copied out; keys are read on demand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameRef<'a> {
+    /// Whether the frame carries keys.
+    pub keyed: bool,
+    /// Tuples in the frame.
+    pub count: u32,
+    /// The client's opaque token (echo it in the reply).
+    pub seq: u64,
+    keys: &'a [u8],
+}
+
+impl FrameRef<'_> {
+    /// The `i`-th key (keyed frames; panics on out-of-range `i`, which
+    /// is a caller bug — `decode_frame` guaranteed `count` keys).
+    #[inline]
+    pub fn key(&self, i: usize) -> u64 {
+        let at = i * 8;
+        u64::from_le_bytes(self.keys[at..at + 8].try_into().expect("8-byte key"))
+    }
+}
+
+/// Attempts to decode one data frame from the front of `buf`.
+///
+/// * `Ok(None)` — `buf` holds a valid prefix but not a whole frame yet
+///   (read more bytes).
+/// * `Ok(Some((frame, consumed)))` — one frame decoded; drop `consumed`
+///   bytes from the front and go again.
+/// * `Err(_)` — protocol violation; reply with an error status and
+///   close.
+///
+/// The header is validated *before* the payload is awaited, so an
+/// oversized or corrupt frame is rejected from its first 16 bytes and
+/// never causes unbounded buffering.
+pub fn decode_frame(buf: &[u8], max_tuples: u32) -> Result<Option<(FrameRef<'_>, usize)>, WireError> {
+    if buf.is_empty() {
+        return Ok(None);
+    }
+    // Validate what has arrived of the fixed prefix eagerly — a bad
+    // first byte fails immediately, not after 16 bytes trickle in.
+    if buf[0] != MAGIC0 || (buf.len() >= 2 && buf[1] != MAGIC1_DATA) {
+        if buf[0] != MAGIC0 {
+            return Err(WireError::BadMagic([buf[0], *buf.get(1).unwrap_or(&0)]));
+        }
+        return Err(WireError::BadMagic([buf[0], buf[1]]));
+    }
+    if buf.len() >= 3 && buf[2] != VERSION {
+        return Err(WireError::BadVersion(buf[2]));
+    }
+    if buf.len() >= 4 && buf[3] & !FLAG_KEYED != 0 {
+        return Err(WireError::BadFlags(buf[3]));
+    }
+    if buf.len() < DATA_HEADER {
+        return Ok(None);
+    }
+    let flags = buf[3];
+    let count = u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes"));
+    if count > max_tuples {
+        return Err(WireError::Oversized { count, max: max_tuples });
+    }
+    let seq = u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes"));
+    let keyed = flags & FLAG_KEYED != 0;
+    let payload = if keyed { count as usize * 8 } else { 0 };
+    if buf.len() < DATA_HEADER + payload {
+        return Ok(None);
+    }
+    Ok(Some((
+        FrameRef {
+            keyed,
+            count,
+            seq,
+            keys: &buf[DATA_HEADER..DATA_HEADER + payload],
+        },
+        DATA_HEADER + payload,
+    )))
+}
+
+/// Appends one data frame to `out`. `keys: Some(_)` encodes a keyed
+/// frame (the count is `keys.len()`), `None` an unkeyed frame of
+/// `count` anonymous tuples.
+pub fn encode_frame_into(out: &mut Vec<u8>, seq: u64, count: u32, keys: Option<&[u64]>) {
+    if let Some(k) = keys {
+        debug_assert_eq!(k.len() as u32, count, "keyed frame count mismatch");
+    }
+    out.reserve(DATA_HEADER + keys.map_or(0, |k| k.len() * 8));
+    out.push(MAGIC0);
+    out.push(MAGIC1_DATA);
+    out.push(VERSION);
+    out.push(if keys.is_some() { FLAG_KEYED } else { 0 });
+    out.extend_from_slice(&count.to_le_bytes());
+    out.extend_from_slice(&seq.to_le_bytes());
+    if let Some(keys) = keys {
+        for k in keys {
+            out.extend_from_slice(&k.to_le_bytes());
+        }
+    }
+}
+
+/// A per-frame backpressure reply: the four-bucket admission ledger for
+/// exactly the tuples of the frame whose `seq` it echoes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Reply {
+    /// [`Reply::STATUS_OK`] or an error status (buckets then zero).
+    pub status: u8,
+    /// Tuples dispatched into a shard ring.
+    pub accepted: u32,
+    /// Tuples dropped by the entry shedder (the controller's α).
+    pub shed: u32,
+    /// Tuples refused because the target ring was full.
+    pub rejected_capacity: u32,
+    /// Tuples refused because the engine is draining/closed.
+    pub rejected_closed: u32,
+    /// Echo of the data frame's token.
+    pub seq: u64,
+}
+
+impl Reply {
+    /// Frame admitted; buckets partition its `count`.
+    pub const STATUS_OK: u8 = 0;
+    /// Framing violation (magic/version/flags); connection closes.
+    pub const STATUS_BAD_FRAME: u8 = 1;
+    /// `count` above the server's cap; connection closes.
+    pub const STATUS_OVERSIZED: u8 = 2;
+
+    /// Sum of the four buckets — equals the data frame's `count` for an
+    /// OK reply (the conservation law, now visible per frame).
+    pub fn total(&self) -> u64 {
+        u64::from(self.accepted)
+            + u64::from(self.shed)
+            + u64::from(self.rejected_capacity)
+            + u64::from(self.rejected_closed)
+    }
+}
+
+/// Appends one reply frame to `out`.
+pub fn encode_reply_into(out: &mut Vec<u8>, r: &Reply) {
+    out.reserve(REPLY_LEN);
+    out.push(MAGIC0);
+    out.push(MAGIC1_REPLY);
+    out.push(VERSION);
+    out.push(r.status);
+    out.extend_from_slice(&r.accepted.to_le_bytes());
+    out.extend_from_slice(&r.shed.to_le_bytes());
+    out.extend_from_slice(&r.rejected_capacity.to_le_bytes());
+    out.extend_from_slice(&r.rejected_closed.to_le_bytes());
+    out.extend_from_slice(&r.seq.to_le_bytes());
+}
+
+/// Attempts to decode one reply from the front of `buf`; same contract
+/// as [`decode_frame`].
+pub fn decode_reply(buf: &[u8]) -> Result<Option<(Reply, usize)>, WireError> {
+    if buf.is_empty() {
+        return Ok(None);
+    }
+    if buf[0] != MAGIC0 || (buf.len() >= 2 && buf[1] != MAGIC1_REPLY) {
+        return Err(WireError::BadMagic([buf[0], *buf.get(1).unwrap_or(&0)]));
+    }
+    if buf.len() >= 3 && buf[2] != VERSION {
+        return Err(WireError::BadVersion(buf[2]));
+    }
+    if buf.len() < REPLY_LEN {
+        return Ok(None);
+    }
+    let word = |at: usize| u32::from_le_bytes(buf[at..at + 4].try_into().expect("4 bytes"));
+    Ok(Some((
+        Reply {
+            status: buf[3],
+            accepted: word(4),
+            shed: word(8),
+            rejected_capacity: word(12),
+            rejected_closed: word(16),
+            seq: u64::from_le_bytes(buf[20..28].try_into().expect("8 bytes")),
+        },
+        REPLY_LEN,
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unkeyed_round_trip_is_header_only() {
+        let mut buf = Vec::new();
+        encode_frame_into(&mut buf, 0xDEAD_BEEF, 1024, None);
+        assert_eq!(buf.len(), DATA_HEADER, "1024 anonymous tuples in 16 bytes");
+        let (f, used) = decode_frame(&buf, DEFAULT_MAX_TUPLES).unwrap().unwrap();
+        assert_eq!(used, DATA_HEADER);
+        assert!(!f.keyed);
+        assert_eq!((f.count, f.seq), (1024, 0xDEAD_BEEF));
+    }
+
+    #[test]
+    fn keyed_round_trip_preserves_keys() {
+        let keys: Vec<u64> = (0..37u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .collect();
+        let mut buf = Vec::new();
+        encode_frame_into(&mut buf, 7, keys.len() as u32, Some(&keys));
+        let (f, used) = decode_frame(&buf, DEFAULT_MAX_TUPLES).unwrap().unwrap();
+        assert_eq!(used, buf.len());
+        assert!(f.keyed);
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(f.key(i), k);
+        }
+    }
+
+    #[test]
+    fn reply_round_trip_and_total() {
+        let r = Reply {
+            status: Reply::STATUS_OK,
+            accepted: 10,
+            shed: 5,
+            rejected_capacity: 2,
+            rejected_closed: 1,
+            seq: 99,
+        };
+        let mut buf = Vec::new();
+        encode_reply_into(&mut buf, &r);
+        assert_eq!(buf.len(), REPLY_LEN);
+        let (got, used) = decode_reply(&buf).unwrap().unwrap();
+        assert_eq!(used, REPLY_LEN);
+        assert_eq!(got, r);
+        assert_eq!(got.total(), 18);
+    }
+
+    #[test]
+    fn partial_prefixes_ask_for_more() {
+        let mut buf = Vec::new();
+        encode_frame_into(&mut buf, 1, 3, Some(&[1, 2, 3]));
+        for cut in 0..buf.len() {
+            assert_eq!(
+                decode_frame(&buf[..cut], DEFAULT_MAX_TUPLES).unwrap().map(|_| ()),
+                None,
+                "prefix of {cut} bytes must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn early_rejection_from_first_bytes() {
+        assert!(matches!(
+            decode_frame(b"GET ", DEFAULT_MAX_TUPLES),
+            Err(WireError::BadMagic(_))
+        ));
+        // Wrong version is detectable from 3 bytes.
+        assert_eq!(
+            decode_frame(&[MAGIC0, MAGIC1_DATA, 2], DEFAULT_MAX_TUPLES),
+            Err(WireError::BadVersion(2))
+        );
+        // Unknown flag bits are detectable from 4 bytes.
+        assert_eq!(
+            decode_frame(&[MAGIC0, MAGIC1_DATA, VERSION, 0x80], DEFAULT_MAX_TUPLES),
+            Err(WireError::BadFlags(0x80))
+        );
+    }
+
+    #[test]
+    fn oversized_rejected_before_payload() {
+        let mut buf = Vec::new();
+        encode_frame_into(&mut buf, 0, 10_000, None);
+        assert_eq!(
+            decode_frame(&buf, 4096),
+            Err(WireError::Oversized { count: 10_000, max: 4096 })
+        );
+    }
+}

@@ -1,0 +1,210 @@
+//! Property tests for the binary wire codec ([`streamshed_net::wire`]).
+//!
+//! The codec sits on an untrusted byte stream, so the properties attack
+//! it the way a network does: arbitrary TCP segmentation (a stream of
+//! frames delivered in arbitrary-sized chunks must decode to exactly
+//! the same frames), truncation at every byte offset, single-byte
+//! corruption anywhere in a frame, and raw random bytes. The decoder
+//! must never panic, never consume bytes it did not decode, and —
+//! after any framing error — be *expected* to desync (the protocol
+//! mandates close-on-error, which the server enforces; the properties
+//! here pin down that errors are deterministic and detected from the
+//! fixed-offset prefix so a cross-version peer is rejected before its
+//! payload is interpreted).
+
+use proptest::prelude::*;
+use streamshed_net::wire::{
+    self, decode_frame, decode_reply, encode_frame_into, encode_reply_into, Reply, WireError,
+    DATA_HEADER, DEFAULT_MAX_TUPLES, REPLY_LEN,
+};
+
+/// One frame to put on the wire: `None` keys ⇒ unkeyed `count` tuples.
+#[derive(Debug, Clone)]
+struct Frame {
+    seq: u64,
+    count: u32,
+    keys: Option<Vec<u64>>,
+}
+
+fn frame_strategy() -> impl Strategy<Value = Frame> {
+    prop_oneof![
+        // Unkeyed: any count up to the default cap costs 16 bytes.
+        (0u64..=u64::MAX, 0u32..=DEFAULT_MAX_TUPLES)
+            .prop_map(|(seq, count)| Frame { seq, count, keys: None }),
+        // Keyed: count follows the key vector.
+        (0u64..=u64::MAX, proptest::collection::vec(0u64..=u64::MAX, 0..128)).prop_map(|(seq, keys)| {
+            Frame {
+                seq,
+                count: keys.len() as u32,
+                keys: Some(keys),
+            }
+        }),
+    ]
+}
+
+fn encode(frames: &[Frame]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    for f in frames {
+        encode_frame_into(&mut buf, f.seq, f.count, f.keys.as_deref());
+    }
+    buf
+}
+
+/// Streaming decode: feed `bytes` in chunks of the given sizes (the
+/// last chunk takes the remainder) and collect every completed frame,
+/// exactly as the server's read loop does. Panics on a wire error —
+/// the round-trip property feeds only well-formed streams.
+fn decode_stream(bytes: &[u8], chunks: &[usize]) -> Vec<(u64, u32, Option<Vec<u64>>)> {
+    let mut out = Vec::new();
+    let mut rbuf: Vec<u8> = Vec::new();
+    let mut fed = 0usize;
+    let mut chunk_iter = chunks.iter();
+    while fed < bytes.len() {
+        let take = chunk_iter
+            .next()
+            .map_or(bytes.len() - fed, |&c| c.clamp(1, bytes.len() - fed));
+        rbuf.extend_from_slice(&bytes[fed..fed + take]);
+        fed += take;
+        let mut consumed = 0usize;
+        while let Some((frame, used)) =
+            decode_frame(&rbuf[consumed..], DEFAULT_MAX_TUPLES).expect("well-formed stream")
+        {
+            let keys = frame
+                .keyed
+                .then(|| (0..frame.count as usize).map(|i| frame.key(i)).collect());
+            out.push((frame.seq, frame.count, keys));
+            consumed += used;
+        }
+        rbuf.drain(..consumed);
+    }
+    assert!(rbuf.is_empty(), "well-formed stream fully consumed");
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any sequence of frames, segmented arbitrarily, decodes to exactly
+    /// the frames that were sent — same order, same seq/count/keys.
+    #[test]
+    fn stream_round_trip_survives_arbitrary_segmentation(
+        frames in proptest::collection::vec(frame_strategy(), 1..12),
+        chunks in proptest::collection::vec(1usize..64, 0..64),
+    ) {
+        let bytes = encode(&frames);
+        let got = decode_stream(&bytes, &chunks);
+        prop_assert_eq!(got.len(), frames.len());
+        for (g, f) in got.iter().zip(&frames) {
+            prop_assert_eq!(g.0, f.seq);
+            prop_assert_eq!(g.1, f.count);
+            prop_assert_eq!(&g.2, &f.keys);
+        }
+    }
+
+    /// Every strict prefix of a single frame yields `Ok(None)` — the
+    /// decoder asks for more bytes and consumes nothing.
+    #[test]
+    fn truncation_never_decodes_and_never_panics(frame in frame_strategy()) {
+        let bytes = encode(std::slice::from_ref(&frame));
+        for cut in 0..bytes.len() {
+            let r = decode_frame(&bytes[..cut], DEFAULT_MAX_TUPLES);
+            prop_assert!(matches!(r, Ok(None)), "prefix {cut}/{} decoded: {r:?}", bytes.len());
+        }
+    }
+
+    /// Flipping one byte anywhere in a frame either still decodes (the
+    /// byte was payload/seq/count) or fails with a deterministic header
+    /// error — never a panic, and header corruption is caught from the
+    /// fixed-offset prefix.
+    #[test]
+    fn single_byte_corruption_is_rejected_or_benign(
+        frame in frame_strategy(),
+        at in 0usize..2048,
+        xor in 1u8..=255,
+    ) {
+        let mut bytes = encode(std::slice::from_ref(&frame));
+        let at = at % bytes.len();
+        bytes[at] ^= xor;
+        match decode_frame(&bytes, DEFAULT_MAX_TUPLES) {
+            Err(WireError::BadMagic(_)) => prop_assert!(at <= 1),
+            Err(WireError::BadVersion(_)) => prop_assert_eq!(at, 2),
+            Err(WireError::BadFlags(_)) => prop_assert_eq!(at, 3),
+            Err(WireError::Oversized { .. }) => prop_assert!((4..8).contains(&at)),
+            // Corrupting count downward / seq / keys still frames.
+            Ok(_) => {}
+        }
+    }
+
+    /// Arbitrary bytes never panic the decoder, and anything that is not
+    /// a valid prefix is rejected from the first four bytes.
+    #[test]
+    fn random_bytes_never_panic(bytes in proptest::collection::vec(0u8..=255u8, 0..256)) {
+        let _ = decode_frame(&bytes, DEFAULT_MAX_TUPLES);
+        let _ = decode_reply(&bytes);
+        if bytes.first().is_some_and(|&b| b != wire::MAGIC0) {
+            prop_assert!(matches!(
+                decode_frame(&bytes, DEFAULT_MAX_TUPLES),
+                Err(WireError::BadMagic(_))
+            ));
+        }
+    }
+
+    /// Cross-version compat: the magic/version/flags prefix sits at the
+    /// same offsets in every version, so a frame stamped with any other
+    /// version byte is rejected as `BadVersion` no matter what follows —
+    /// a V1 endpoint never misparses a hypothetical V2 stream.
+    #[test]
+    fn other_versions_rejected_from_header(
+        frame in frame_strategy(),
+        version in (0u8..=255).prop_filter("not v1", |v| *v != wire::VERSION),
+        tail in proptest::collection::vec(0u8..=255u8, 0..64),
+    ) {
+        let mut bytes = encode(std::slice::from_ref(&frame));
+        bytes[2] = version;
+        bytes.extend_from_slice(&tail);
+        prop_assert_eq!(
+            decode_frame(&bytes, DEFAULT_MAX_TUPLES),
+            Err(WireError::BadVersion(version))
+        );
+    }
+
+    /// An oversized header is rejected before its payload exists: the
+    /// error fires from the 16 header bytes alone, so a hostile count
+    /// can never force the server to buffer the claimed payload.
+    #[test]
+    fn oversized_rejected_from_header_alone(
+        seq in 0u64..=u64::MAX,
+        over in 1u32..100_000,
+        cap in 1u32..4096,
+    ) {
+        let mut bytes = Vec::new();
+        encode_frame_into(&mut bytes, seq, cap + over, None);
+        bytes.truncate(DATA_HEADER);
+        prop_assert_eq!(
+            decode_frame(&bytes, cap),
+            Err(WireError::Oversized { count: cap + over, max: cap })
+        );
+    }
+
+    /// Reply round trip over arbitrary ledgers, plus truncation safety.
+    #[test]
+    fn reply_round_trip(
+        status in 0u8..3,
+        accepted in 0u32..=u32::MAX,
+        shed in 0u32..=u32::MAX,
+        rejected_capacity in 0u32..=u32::MAX,
+        rejected_closed in 0u32..=u32::MAX,
+        seq in 0u64..=u64::MAX,
+    ) {
+        let r = Reply { status, accepted, shed, rejected_capacity, rejected_closed, seq };
+        let mut buf = Vec::new();
+        encode_reply_into(&mut buf, &r);
+        prop_assert_eq!(buf.len(), REPLY_LEN);
+        for cut in 0..buf.len() {
+            prop_assert!(matches!(decode_reply(&buf[..cut]), Ok(None)));
+        }
+        let (got, used) = decode_reply(&buf).unwrap().unwrap();
+        prop_assert_eq!(used, REPLY_LEN);
+        prop_assert_eq!(got, r);
+    }
+}

@@ -27,6 +27,7 @@ pub mod cost;
 pub mod mmpp;
 pub mod pareto;
 pub mod poisson;
+pub mod schedule;
 pub mod sine;
 pub mod step;
 pub mod tracefile;
@@ -38,6 +39,7 @@ pub use cost::CostTrace;
 pub use mmpp::{MmppState, MmppTrace};
 pub use pareto::ParetoTrace;
 pub use poisson::PoissonTrace;
+pub use schedule::{frame_schedule, schedule_tuples, uniform_schedule, FrameAt};
 pub use sine::SineTrace;
 pub use step::StepTrace;
 pub use tracefile::FileTrace;

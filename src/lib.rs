@@ -16,6 +16,9 @@
 //!   strategies.
 //! * [`zdomain`] — discrete-time control mathematics (polynomials,
 //!   transfer functions, pole placement).
+//! * [`net`] — the network ingestion plane: a zero-copy binary wire
+//!   protocol, thread-per-core TCP/HTTP listeners feeding the sharded
+//!   engine, and a seeded load-generator fleet.
 //! * [`sysid`] — system-identification experiments (model verification).
 //! * [`experiments`] — reproduction harness for every figure in the
 //!   paper.
@@ -56,6 +59,7 @@
 pub use streamshed_control as control;
 pub use streamshed_engine as engine;
 pub use streamshed_experiments as experiments;
+pub use streamshed_net as net;
 pub use streamshed_sysid as sysid;
 pub use streamshed_workload as workload;
 pub use streamshed_zdomain as zdomain;
