@@ -5,7 +5,7 @@
 //! bench [--smoke] [--out PATH] [--check PATH]
 //! ```
 //!
-//! Measures seven things and writes them to `BENCH_PR9.json` (or `--out`):
+//! Measures seven things and writes them to `BENCH_PR10.json` (or `--out`):
 //!
 //! 1. **Engine throughput** — tuples/sec of a 60 s overloaded simulation
 //!    (identification network, 400 t/s uniform arrivals, no shedding),
@@ -34,8 +34,12 @@
 //!    figure with `--jobs 1` vs `--jobs <cores>`.
 //! 7. **Observability overhead** — ns/period of feeding the diagnostics
 //!    plane, plus the 1-shard engine throughput with the full plane live
-//!    (diagnostics + trace ring + HTTP server) vs plain: the plane must
-//!    cost < 2% of the PR4 hot-path throughput.
+//!    (diagnostics + trace ring + HTTP server + the latency truth
+//!    plane's 1/64 sojourn sampling and stage spans) vs plain: the plane
+//!    must cost < 2% of the PR4 hot-path throughput. This is the
+//!    spans-on gate — a plain spawn carries no span slots and zeroes
+//!    `sample_every`, so the ratio prices exactly what observability
+//!    (spans included) adds.
 //!
 //! `--smoke` shrinks the repetition counts for CI. `--check PATH` regates
 //! against the report in PATH (up to three attempts each, to ride out
@@ -183,6 +187,7 @@ fn sweep_cfg(shards: usize) -> ShardConfig {
         panic_on_tuple: None,
         cost_model: CostModel::Spin,
         dispatch: Dispatch::RoundRobin,
+        sample_every: streamshed_engine::spans::DEFAULT_SAMPLE_EVERY,
         seed: ShardConfig::DEFAULT_SEED,
         pin_cores: false,
     }
@@ -339,9 +344,11 @@ fn measure_sharded(shards: usize, dur: Duration) -> f64 {
 }
 
 /// Same workload with the full observability plane live: per-period
-/// diagnostics, the trace ring, and the HTTP server accepting on an
+/// diagnostics, the trace ring, the HTTP server accepting on an
 /// ephemeral port (nobody polls it — the gate measures the plane's
-/// standing cost, not request handling).
+/// standing cost, not request handling), and the latency truth plane
+/// (1/64 sojourn sampling, per-stage span stamps closed at worker
+/// retirement).
 fn measure_sharded_observed(shards: usize, dur: Duration) -> f64 {
     let options = ObsOptions::for_target(Duration::from_secs(60));
     let engine = ShardedEngine::spawn_observed(sweep_cfg(shards), NoShedding, &options)
@@ -450,7 +457,7 @@ fn measure_runner(jobs: usize, seed: u64) -> f64 {
 
 fn main() {
     let mut smoke = false;
-    let mut out = PathBuf::from("BENCH_PR9.json");
+    let mut out = PathBuf::from("BENCH_PR10.json");
     let mut check: Option<PathBuf> = None;
 
     let mut args = std::env::args().skip(1);
@@ -681,8 +688,10 @@ fn main() {
         "scenario": format!(
             "1-shard ShardedEngine, NoShedding, spin cost {} us/tuple, {} s per point: \
              plain spawn vs spawn_observed (diagnostics + trace ring + HTTP server on an \
-             ephemeral port, unpolled)",
-            SWEEP_COST.as_micros(), sweep_dur.as_secs()
+             ephemeral port, unpolled, plus the latency truth plane: 1/{} sojourn \
+             sampling and per-stage span stamps)",
+            SWEEP_COST.as_micros(), sweep_dur.as_secs(),
+            streamshed_engine::spans::DEFAULT_SAMPLE_EVERY
         ),
         "plane_record_ns_per_period": record_ns,
         "plane_records_measured": plane_n,
@@ -690,13 +699,14 @@ fn main() {
         "observed_tuples_per_sec": observed_tps,
         "observed_over_plain": observed_over_plain,
         "overhead_pct": (1.0 - observed_over_plain) * 100.0,
+        "span_sample_every": streamshed_engine::spans::DEFAULT_SAMPLE_EVERY,
         "pr4_single_shard_tuples_per_sec": PR4_SINGLE_SHARD_TPS,
         "pr4_provenance": "BENCH_PR4.json sharded.single_shard_tuples_per_sec (same harness); the gate compares plain vs observed on this host so host speed cancels",
-        "gate": "observed_over_plain >= 0.98 (checked by --check)",
-        "note": "the plane runs once per 50 ms control period on the controller thread, never on the per-tuple path; record_ns bounds its per-period cost",
+        "gate": "observed_over_plain >= 0.98 with spans on (checked by --check)",
+        "note": "the diagnostics plane runs once per 50 ms control period on the controller thread; the span layer's per-tuple cost is one atomic counter walk per admission batch plus two clock reads per sampled tuple (1/64), and a plain spawn pays neither",
     });
     let report = serde_json::json!({
-        "bench": "PR9 network ingestion plane: zero-copy batched wire protocol, poll-based listeners, loadgen fleet",
+        "bench": "PR10 latency truth plane: per-stage spans, sampled sojourns, and /profile riding the observed engine",
         "mode": if smoke { "smoke" } else { "full" },
         "generated_unix": generated_unix,
         "host_cores": cores,
@@ -858,7 +868,10 @@ fn report_f64(report: &serde_json::Value, path: &std::path::Path, dotted: &str) 
 ///    tuples/sec.
 /// 5. Observability overhead: the observed 1-shard engine keeps ≥ 98%
 ///    of the plain engine's throughput, both measured fresh on this
-///    host (only for reports carrying a `diagnostics` section).
+///    host (only for reports carrying a `diagnostics` section). The
+///    observed spawn runs with the latency truth plane live (span
+///    slots + 1/64 sojourn sampling) while the plain spawn zeroes
+///    `sample_every`, so this is also the span-overhead check.
 fn run_check(path: &std::path::Path) {
     let body = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("cannot read {}: {e}", path.display());
@@ -990,17 +1003,23 @@ fn run_check(path: &std::path::Path) {
         let observed = measure_sharded_observed(1, dur);
         let ratio = observed / plain;
         println!(
-            "observability gate, attempt {attempt}: plain {plain:.0} vs observed \
+            "observability gate, attempt {attempt}: plain {plain:.0} vs observed (spans on) \
              {observed:.0} tuples/sec = {ratio:.3}x (need >= 0.98)"
         );
         if ratio >= 0.98 {
-            println!("OK: the live observability plane costs < 2% of hot-path throughput");
+            println!(
+                "OK: the live observability plane (span sampling included) costs < 2% of \
+                 hot-path throughput"
+            );
             ok = true;
             break;
         }
     }
     if !ok {
-        eprintln!("FAIL: observability plane costs more than 2% of hot-path throughput");
+        eprintln!(
+            "FAIL: observability plane (span sampling included) costs more than 2% of \
+             hot-path throughput"
+        );
         std::process::exit(1);
     }
 }

@@ -173,6 +173,16 @@ pub struct DiagnosticsConfig {
     /// Rolling window for the SLO burn rate, periods
     /// (≤ [`MAX_DIAG_WINDOW`]).
     pub burn_window: usize,
+    /// Fast SLO burn window, periods: the multi-window burn-rate pair's
+    /// short arm (≤ [`Self::burn_slow_window`]).
+    pub burn_fast_window: usize,
+    /// Slow SLO burn window, periods (≤ [`MAX_DIAG_WINDOW`]). Both burn
+    /// rates must exceed [`Self::burn_diverge_frac`] — with this window
+    /// *full* — before burn evidence alone escalates to `Diverging`.
+    pub burn_slow_window: usize,
+    /// Burn-rate fraction at which the fast/slow pair escalates the
+    /// loop to `Diverging`.
+    pub burn_diverge_frac: f64,
 }
 
 impl DiagnosticsConfig {
@@ -192,6 +202,9 @@ impl DiagnosticsConfig {
             saturation_periods: 3,
             grace_periods: 12,
             burn_window: 32,
+            burn_fast_window: 5,
+            burn_slow_window: 60,
+            burn_diverge_frac: 0.9,
         }
     }
 
@@ -207,6 +220,18 @@ impl DiagnosticsConfig {
         assert!(
             (1..=MAX_DIAG_WINDOW).contains(&self.burn_window),
             "burn window must be 1..={MAX_DIAG_WINDOW}"
+        );
+        assert!(
+            (1..=MAX_DIAG_WINDOW).contains(&self.burn_slow_window),
+            "slow burn window must be 1..={MAX_DIAG_WINDOW}"
+        );
+        assert!(
+            (1..=self.burn_slow_window).contains(&self.burn_fast_window),
+            "fast burn window must be 1..=burn_slow_window"
+        );
+        assert!(
+            self.burn_diverge_frac > 0.0 && self.burn_diverge_frac <= 1.0,
+            "burn divergence fraction must be in (0, 1]"
         );
         assert!(self.error_band_frac >= 0.0);
         assert!(self.alpha_swing > 0.0);
@@ -270,6 +295,12 @@ pub struct DiagnosticsSnapshot {
     pub slo_violation_periods: u64,
     /// Fraction of the burn window with the delay above target.
     pub slo_burn_rate: f64,
+    /// Burn rate over the fast window (most recent
+    /// `burn_fast_window` periods).
+    pub slo_burn_fast: f64,
+    /// Burn rate over the slow window (most recent
+    /// `burn_slow_window` periods; 0.0 until any period arrives).
+    pub slo_burn_slow: f64,
     /// Σ (y − y_d)⁺ · T over observed periods, seconds.
     pub slo_violation_seconds: f64,
     /// Periods spent in supervisor hold.
@@ -380,6 +411,7 @@ impl DiagnosticsSnapshot {
              \"overshoot_max_frac\":{},\
              \"pinned_high_periods\":{},\"pinned_low_periods\":{},\
              \"slo_violation_periods\":{},\"slo_burn_rate\":{},\
+             \"slo_burn_fast\":{},\"slo_burn_slow\":{},\
              \"slo_violation_seconds\":{},\
              \"hold_periods\":{},\"fallback_periods\":{},\
              \"mode_transitions\":{},\"faulted_periods\":{},\
@@ -411,6 +443,8 @@ impl DiagnosticsSnapshot {
             self.pinned_low_periods,
             self.slo_violation_periods,
             num(self.slo_burn_rate),
+            num(self.slo_burn_fast),
+            num(self.slo_burn_slow),
             num(self.slo_violation_seconds),
             self.hold_periods,
             self.fallback_periods,
@@ -515,6 +549,16 @@ impl DiagnosticsSnapshot {
             "Fraction of the burn window with the delay above target",
             self.slo_burn_rate,
         )
+        .gauge(
+            "diag_slo_burn_fast",
+            "SLO burn rate over the fast (short) window",
+            self.slo_burn_fast,
+        )
+        .gauge(
+            "diag_slo_burn_slow",
+            "SLO burn rate over the slow (long) window",
+            self.slo_burn_slow,
+        )
         .counter(
             "diag_slo_violation_seconds_total",
             "Accumulated delay violation, target-relative seconds",
@@ -589,6 +633,11 @@ pub struct ControllerHealth {
     burn_win: [bool; MAX_DIAG_WINDOW],
     burn_len: usize,
     burn_next: usize,
+    // The fast/slow burn pair shares one ring sized by the slow window;
+    // the fast rate reads its most recent samples.
+    burn2_win: [bool; MAX_DIAG_WINDOW],
+    burn2_len: usize,
+    burn2_next: usize,
     // Streaks + episode tracking.
     violation_streak: u64,
     pinned_streak: u64,
@@ -652,6 +701,9 @@ impl ControllerHealth {
             burn_win: [false; MAX_DIAG_WINDOW],
             burn_len: 0,
             burn_next: 0,
+            burn2_win: [false; MAX_DIAG_WINDOW],
+            burn2_len: 0,
+            burn2_next: 0,
             violation_streak: 0,
             pinned_streak: 0,
             episode_peak_frac: 0.0,
@@ -781,12 +833,16 @@ impl ControllerHealth {
         }
         let bw = self.cfg.burn_window;
         if self.burn_len < bw {
-            self.burn_win[self.burn_next] = above_target;
             self.burn_len += 1;
-        } else {
-            self.burn_win[self.burn_next] = above_target;
         }
+        self.burn_win[self.burn_next] = above_target;
         self.burn_next = (self.burn_next + 1) % bw;
+        let sw = self.cfg.burn_slow_window;
+        if self.burn2_len < sw {
+            self.burn2_len += 1;
+        }
+        self.burn2_win[self.burn2_next] = above_target;
+        self.burn2_next = (self.burn2_next + 1) % sw;
 
         // --- Actuator saturation ---------------------------------------
         let eps = self.cfg.alpha_pin_eps;
@@ -843,7 +899,15 @@ impl ControllerHealth {
         }
 
         // --- Classification --------------------------------------------
-        let new_state = if self.violation_streak > self.cfg.grace_periods {
+        // Burn evidence escalates only once the slow window is full:
+        // both arms of the fast/slow pair must burn at or above the
+        // configured fraction, so a short spike (fast-only) or a stale
+        // historical burn (slow-only) never trips it alone.
+        let (burn_fast, burn_slow) = self.burn_pair();
+        let burn_alarm = self.burn2_len == self.cfg.burn_slow_window
+            && burn_fast >= self.cfg.burn_diverge_frac
+            && burn_slow >= self.cfg.burn_diverge_frac;
+        let new_state = if self.violation_streak > self.cfg.grace_periods || burn_alarm {
             HealthState::Diverging
         } else if self.pinned_streak >= self.cfg.saturation_periods {
             HealthState::Saturated
@@ -875,6 +939,28 @@ impl ControllerHealth {
         } else {
             None
         }
+    }
+
+    /// The (fast, slow) SLO burn rates: fractions of the most recent
+    /// `burn_fast_window` / `burn_slow_window` periods with the delay
+    /// above target (0.0 before any period).
+    fn burn_pair(&self) -> (f64, f64) {
+        if self.burn2_len == 0 {
+            return (0.0, 0.0);
+        }
+        let sw = self.cfg.burn_slow_window;
+        let slow_hits = self.burn2_win[..self.burn2_len].iter().filter(|&&b| b).count();
+        let slow = slow_hits as f64 / self.burn2_len as f64;
+        let fw = self.cfg.burn_fast_window.min(self.burn2_len);
+        let mut fast_hits = 0usize;
+        for back in 1..=fw {
+            // Most recent sample is one slot behind the cursor.
+            let idx = (self.burn2_next + sw - (back % sw)) % sw;
+            if self.burn2_win[idx] {
+                fast_hits += 1;
+            }
+        }
+        (fast_hits as f64 / fw as f64, slow)
     }
 
     /// Counts oscillation evidence over the window: gated sign flips of
@@ -928,6 +1014,7 @@ impl ControllerHealth {
 
     /// A point-in-time copy of the verdict and every estimator.
     pub fn snapshot(&self) -> DiagnosticsSnapshot {
+        let (slo_burn_fast, slo_burn_slow) = self.burn_pair();
         DiagnosticsSnapshot {
             state: self.state,
             k: self.last_k,
@@ -960,6 +1047,8 @@ impl ControllerHealth {
                     .count() as f64
                     / self.burn_len as f64
             },
+            slo_burn_fast,
+            slo_burn_slow,
             slo_violation_seconds: self.slo_violation_seconds,
             hold_periods: self.hold_periods,
             fallback_periods: self.fallback_periods,
@@ -1053,6 +1142,33 @@ mod tests {
         t.y_hat_s = y_s;
         t.error_s = TARGET - y_s;
         t
+    }
+
+    #[test]
+    fn burn_pair_escalates_only_with_full_slow_window() {
+        let mut h = ControllerHealth::new(cfg());
+        // A dip below target every 12th period keeps the violation
+        // streak under the grace budget, so only burn evidence can
+        // reach `Diverging` — and it must wait for a full slow window.
+        let y_at = |k: u64| if k % 12 == 0 { 0.5 } else { 3.0 * TARGET };
+        for k in 0..40 {
+            h.observe(&trace(k, y_at(k), 0.5));
+        }
+        assert_ne!(
+            h.state(),
+            HealthState::Diverging,
+            "burn cannot escalate before the slow window fills"
+        );
+        // k = 66..=70 are all above target, so at k = 70 the fast
+        // window burns at 1.0 and the slow window at 55/60.
+        for k in 40..71 {
+            h.observe(&trace(k, y_at(k), 0.5));
+        }
+        let snap = h.snapshot();
+        assert!((snap.slo_burn_fast - 1.0).abs() < 1e-9, "{}", snap.slo_burn_fast);
+        assert!(snap.slo_burn_slow >= 0.9, "{}", snap.slo_burn_slow);
+        assert_eq!(h.state(), HealthState::Diverging);
+        assert!(snap.to_json().contains("\"slo_burn_fast\":1"));
     }
 
     #[test]

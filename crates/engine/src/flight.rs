@@ -126,13 +126,28 @@ impl FlightRecorder {
         snapshot: &DiagnosticsSnapshot,
         traces: &[ControlTrace],
     ) -> Option<PathBuf> {
+        self.record_transition_profiled(k, state, snapshot, traces, None)
+    }
+
+    /// Like [`record_transition`](Self::record_transition), additionally
+    /// embedding the latency truth plane's stage-timing profile in the
+    /// bundle header (`"profile":{…}`), so a post-mortem shows *where*
+    /// in the pipeline the anomaly's latency lived.
+    pub fn record_transition_profiled(
+        &mut self,
+        k: u64,
+        state: HealthState,
+        snapshot: &DiagnosticsSnapshot,
+        traces: &[ControlTrace],
+        profile: Option<&crate::spans::ProfileSnapshot>,
+    ) -> Option<PathBuf> {
         if let Some(last) = self.last_recorded_k {
             if k.saturating_sub(last) < self.cfg.debounce_periods {
                 self.skipped_debounce += 1;
                 return None;
             }
         }
-        match self.write_bundle(k, state, snapshot, traces) {
+        match self.write_bundle(k, state, snapshot, traces, profile) {
             Ok(path) => {
                 self.last_recorded_k = Some(k);
                 self.bundles_written += 1;
@@ -153,6 +168,7 @@ impl FlightRecorder {
         state: HealthState,
         snapshot: &DiagnosticsSnapshot,
         traces: &[ControlTrace],
+        profile: Option<&crate::spans::ProfileSnapshot>,
     ) -> std::io::Result<PathBuf> {
         fs::create_dir_all(&self.cfg.dir)?;
         let unix_ms = SystemTime::now()
@@ -164,10 +180,14 @@ impl FlightRecorder {
         let tmp = self.cfg.dir.join(format!(".{name}.tmp"));
         {
             let mut f = fs::File::create(&tmp)?;
+            let profile_field = match profile {
+                Some(p) => format!(",\"profile\":{}", p.to_json()),
+                None => String::new(),
+            };
             writeln!(
                 f,
                 "{{\"kind\":\"flight_header\",\"k\":{k},\"state\":\"{}\",\
-                 \"unix_ms\":{unix_ms},\"traces\":{},\"diagnostics\":{}}}",
+                 \"unix_ms\":{unix_ms},\"traces\":{},\"diagnostics\":{}{profile_field}}}",
                 state.as_str(),
                 traces.len(),
                 snapshot.to_json(),

@@ -36,6 +36,7 @@ pub mod describe;
 pub mod diagnostics;
 pub mod faults;
 pub mod flight;
+pub mod histo;
 pub mod hook;
 pub mod metrics;
 pub mod network;
@@ -47,6 +48,7 @@ pub mod rng;
 pub mod rt;
 pub mod shard;
 pub mod sim;
+pub mod spans;
 pub mod telemetry;
 pub mod time;
 pub mod tuple;
@@ -65,7 +67,9 @@ pub use network::{NetworkBuilder, NodeId, QueryNetwork};
 pub use ring::{Push, SpscRing};
 pub use rng::{engine_rng, AtomicShedder, EngineRng, EntryShedder, GeometricSkip};
 pub use shard::{BatchResult, Dispatch, ShardConfig, ShardReport, ShardStat, ShardedEngine};
+pub use histo::{AtomicHisto, Histo};
 pub use sim::{SimConfig, Simulator};
+pub use spans::{ProfileSnapshot, SpanHandle, SpanRegistry, Stage};
 pub use telemetry::{
     ControlState, ControlTrace, EventSink, InstrumentedHook, LoopMode, Ring, RingRecorder,
     SharedRecorder, TracingHook,

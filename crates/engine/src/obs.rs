@@ -164,6 +164,7 @@ pub struct ObsPlane {
     flight: Option<Arc<Mutex<FlightRecorder>>>,
     periods: Arc<AtomicU64>,
     adapt: Arc<AdaptCache>,
+    spans: crate::spans::SpanRegistry,
 }
 
 impl ObsPlane {
@@ -179,7 +180,15 @@ impl ObsPlane {
                 .map(|cfg| Arc::new(Mutex::new(FlightRecorder::new(cfg)))),
             periods: Arc::new(AtomicU64::new(0)),
             adapt: Arc::new(AdaptCache::default()),
+            spans: crate::spans::SpanRegistry::new(),
         }
+    }
+
+    /// The latency truth plane's span registry: engines register their
+    /// worker / listener recorder slots here, and `/profile` plus the
+    /// `streamshed_latency_*` families drain it.
+    pub fn spans(&self) -> &crate::spans::SpanRegistry {
+        &self.spans
     }
 
     /// The trace ring (e.g. to export after a run).
@@ -260,7 +269,14 @@ impl ObsPlane {
                 if let Some(flight) = &self.flight {
                     let snap = self.diagnostics.snapshot();
                     let traces = self.recorder.snapshot();
-                    flight.lock().record_transition(trace.k, to, &snap, &traces);
+                    let profile = self.spans.snapshot();
+                    flight.lock().record_transition_profiled(
+                        trace.k,
+                        to,
+                        &snap,
+                        &traces,
+                        Some(&profile),
+                    );
                 }
             }
         }
@@ -413,11 +429,19 @@ fn handle_connection(mut stream: TcpStream, cfg: &HttpConfig, plane: &ObsPlane, 
             respond(&mut stream, status, "application/json", &body);
         }
         "/trace" => {
+            // Hostile `last` values (overflowing digits, negatives, junk)
+            // fall back to the default; anything larger than the ring is
+            // clamped by the saturating skip below.
             let last = query_param(query, "last")
                 .and_then(|v| v.parse::<usize>().ok())
                 .unwrap_or(64);
             let traces = plane.recorder().snapshot();
             let skip = traces.len().saturating_sub(last);
+            if query_param(query, "format") == Some("csv") {
+                let body = crate::telemetry::export_csv(&traces[skip..]);
+                respond(&mut stream, 200, "text/csv; charset=utf-8", &body);
+                return;
+            }
             let body = {
                 let mut out = String::from("[");
                 for (i, t) in traces[skip..].iter().enumerate() {
@@ -429,6 +453,10 @@ fn handle_connection(mut stream: TcpStream, cfg: &HttpConfig, plane: &ObsPlane, 
                 out.push(']');
                 out
             };
+            respond(&mut stream, 200, "application/json", &body);
+        }
+        "/profile" => {
+            let body = plane.spans().snapshot().to_json();
             respond(&mut stream, 200, "application/json", &body);
         }
         _ => respond(&mut stream, 404, "text/plain", "not found"),
@@ -668,6 +696,65 @@ mod tests {
         server.stop();
         // Stopped server refuses (or resets) new connections.
         assert!(http_get(addr, "/health", Duration::from_millis(300)).is_err());
+    }
+
+    #[test]
+    fn profile_endpoint_serves_span_snapshot() {
+        let plane = ObsPlane::new(&options());
+        let mut server = start_server(&plane);
+        let addr = server.addr();
+        let t = Duration::from_secs(2);
+
+        // Empty registry still serves a valid shape.
+        let (status, body) = http_get(addr, "/profile", t).unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("\"stages\""), "{body}");
+        assert!(body.contains("\"sojourn\""), "{body}");
+
+        let h = plane.spans().handle("7");
+        h.record(crate::spans::Stage::Execute, 2_000_000);
+        h.record(crate::spans::Stage::RingWait, 1_000_000);
+        h.record_sojourn(3_000_000);
+        let (status, body) = http_get(addr, "/profile", t).unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("\"execute\""), "{body}");
+        assert!(body.contains("\"wall_share\""), "{body}");
+        assert!(body.contains("\"labels\":{\"7\":"), "{body}");
+
+        server.stop();
+    }
+
+    #[test]
+    fn trace_csv_format_and_hostile_last_clamp() {
+        let plane = ObsPlane::new(&options());
+        let mut server = start_server(&plane);
+        let addr = server.addr();
+        let t = Duration::from_secs(2);
+        let mut sink = plane.clone();
+        for k in 0..5 {
+            sink.record(&trace(k, TARGET, 0.3));
+        }
+
+        let (status, body) = http_get(addr, "/trace?last=2&format=csv", t).unwrap();
+        assert_eq!(status, 200);
+        let mut lines = body.lines();
+        assert!(lines.next().unwrap_or("").starts_with("k,"), "{body}");
+        assert_eq!(lines.count(), 2, "{body}");
+
+        // Hostile `last` values: non-numeric falls back to the default,
+        // oversized clamps to everything recorded — never a panic or an
+        // out-of-bounds slice.
+        for hostile in ["last=99999999999999999999", "last=-3", "last=abc", "last="] {
+            let (status, body) =
+                http_get(addr, &format!("/trace?{hostile}&format=csv"), t).unwrap();
+            assert_eq!(status, 200, "{hostile}");
+            assert_eq!(body.lines().count(), 6, "{hostile}: {body}");
+        }
+        let (status, body) = http_get(addr, "/trace?last=1000000", t).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body.matches("\"k\":").count(), 5, "{body}");
+
+        server.stop();
     }
 
     #[test]

@@ -61,6 +61,11 @@ pub struct RtConfig {
     /// (1-based). The engine must survive, restart the worker, and keep
     /// processing.
     pub panic_on_tuple: Option<u64>,
+    /// Sojourn sampling rate for the latency truth plane: roughly every
+    /// Nth admitted tuple is span-tracked end to end
+    /// ([`spans`](crate::spans)). `0` disables; only active when spawned
+    /// observed.
+    pub sample_every: u32,
 }
 
 impl RtConfig {
@@ -74,6 +79,7 @@ impl RtConfig {
             headroom: 0.97,
             queue_capacity: 4096,
             panic_on_tuple: None,
+            sample_every: crate::spans::DEFAULT_SAMPLE_EVERY,
         }
     }
 }
@@ -95,6 +101,8 @@ struct Shared {
     /// Entry shedder shared by concurrent `offer()` callers (hybrid
     /// Bernoulli / geometric-skip, see [`AtomicShedder`]).
     shedder: AtomicShedder,
+    /// Admitted-tuple accumulator driving sojourn sampling.
+    sample_acc: AtomicU64,
     /// Controller-side period log. Preallocated ring, locked only by the
     /// controller thread (once per period) and at shutdown — never on the
     /// `offer()`/worker path, so feeding tuples cannot block on it.
@@ -120,6 +128,7 @@ impl Shared {
             periods: AtomicU64::new(0),
             stop: AtomicBool::new(false),
             shedder: AtomicShedder::new(0x9E3779B97F4A7C15),
+            sample_acc: AtomicU64::new(0),
             hook_log: Mutex::new(Ring::with_capacity(HOOK_LOG_CAPACITY)),
         }
     }
@@ -192,12 +201,29 @@ pub struct RtEngine {
 
 impl RtEngine {
     /// Spawns the worker and controller threads.
-    pub fn spawn<H>(cfg: RtConfig, mut hook: H) -> Self
+    pub fn spawn<H>(cfg: RtConfig, hook: H) -> Self
+    where
+        H: ControlHook + Send + 'static,
+    {
+        Self::spawn_inner(cfg, hook, None)
+    }
+
+    fn spawn_inner<H>(
+        cfg: RtConfig,
+        mut hook: H,
+        spans: Option<&crate::spans::SpanRegistry>,
+    ) -> Self
     where
         H: ControlHook + Send + 'static,
     {
         assert!(cfg.headroom > 0.0 && cfg.headroom <= 1.0);
         assert!(cfg.queue_capacity > 0, "queue capacity must be positive");
+        // Sampling marks are only closed by a span-carrying worker, so a
+        // plain (unobserved) engine disables them and pays nothing.
+        let mut cfg = cfg;
+        if spans.is_none() {
+            cfg.sample_every = 0;
+        }
         let shared = Arc::new(Shared::new());
         let work = Arc::new(WorkerStats::new());
         let ring = Arc::new(SpscRing::new(cfg.queue_capacity));
@@ -212,6 +238,7 @@ impl RtEngine {
                 panic_on_tuple: cfg.panic_on_tuple,
                 cost_model: CostModel::Sleep,
                 pin_core: None,
+                spans: spans.map(|r| r.handle("rt")),
             },
         );
 
@@ -313,7 +340,8 @@ impl RtEngine {
     {
         let plane = crate::obs::ObsPlane::new(options);
         let traced = TracingHook::with_sink(hook, plane.clone());
-        let mut engine = Self::spawn(cfg, traced);
+        let spans = plane.spans().clone();
+        let mut engine = Self::spawn_inner(cfg, traced, Some(&spans));
         let server = match &options.http {
             Some(http) => {
                 let shared = Arc::clone(&engine.shared);
@@ -324,6 +352,7 @@ impl RtEngine {
                     render_prometheus(&shared, &work, &mut p);
                     diag_plane.health().render_prom(&mut p);
                     diag_plane.render_adapt_prom(&mut p);
+                    diag_plane.spans().snapshot().render_prom(&mut p);
                     p.finish()
                 });
                 Some(ObsServer::start(http.clone(), plane.clone(), metrics)?)
@@ -355,7 +384,11 @@ impl RtEngine {
             self.shared.dropped_entry.fetch_add(1, Ordering::Relaxed);
             return false;
         }
-        match self.ring.push(self.ring.stamp_now()) {
+        let mut stamp = self.ring.stamp_now();
+        if crate::spans::sample_crossings(&self.shared.sample_acc, self.cfg.sample_every, 1) > 0 {
+            stamp |= crate::spans::SAMPLE_BIT;
+        }
+        match self.ring.push(stamp) {
             Push::Pushed(1) => {
                 self.work.queue_len.fetch_add(1, Ordering::Relaxed);
                 true
@@ -399,27 +432,45 @@ impl RtEngine {
             if admit == 0 {
                 continue;
             }
-            match self.ring.push_repeat(self.ring.stamp_now(), admit) {
-                Push::Pushed(got) => {
-                    let got = got as u64;
-                    if got > 0 {
-                        self.work.queue_len.fetch_add(got, Ordering::Relaxed);
-                        res.dispatched += got;
-                    }
-                    if (got as usize) < admit {
-                        let short = admit as u64 - got;
-                        self.shared
-                            .rejected_capacity
-                            .fetch_add(short, Ordering::Relaxed);
-                        res.rejected_capacity += short;
-                    }
+            let stamp = self.ring.stamp_now();
+            // Mark the sampled head of the sub-batch so the worker closes
+            // a sojourn for 1-in-`sample_every` admitted tuples on average.
+            let marked = crate::spans::sample_crossings(
+                &self.shared.sample_acc,
+                self.cfg.sample_every,
+                admit as u64,
+            )
+            .min(admit as u64) as usize;
+            let mut got: u64 = 0;
+            let mut closed = false;
+            for (count, s) in [
+                (marked, stamp | crate::spans::SAMPLE_BIT),
+                (admit - marked, stamp),
+            ] {
+                if count == 0 || closed {
+                    continue;
                 }
-                Push::Closed => {
-                    self.shared
-                        .rejected_closed
-                        .fetch_add(admit as u64, Ordering::Relaxed);
-                    res.rejected_closed += admit as u64;
+                match self.ring.push_repeat(s, count) {
+                    Push::Pushed(g) => got += g as u64,
+                    Push::Closed => closed = true,
                 }
+            }
+            if got > 0 {
+                self.work.queue_len.fetch_add(got, Ordering::Relaxed);
+                res.dispatched += got;
+            }
+            if closed {
+                let short = admit as u64 - got;
+                self.shared
+                    .rejected_closed
+                    .fetch_add(short, Ordering::Relaxed);
+                res.rejected_closed += short;
+            } else if got < admit as u64 {
+                let short = admit as u64 - got;
+                self.shared
+                    .rejected_capacity
+                    .fetch_add(short, Ordering::Relaxed);
+                res.rejected_capacity += short;
             }
         }
         res
@@ -638,6 +689,7 @@ mod tests {
             headroom: 1.0,
             queue_capacity: 4096,
             panic_on_tuple: None,
+            sample_every: crate::spans::DEFAULT_SAMPLE_EVERY,
         };
         let engine = RtEngine::spawn(cfg, NoShedding);
         for _ in 0..200 {
@@ -664,6 +716,7 @@ mod tests {
             headroom: 1.0,
             queue_capacity: 4096,
             panic_on_tuple: None,
+            sample_every: crate::spans::DEFAULT_SAMPLE_EVERY,
         };
         // Fixed 50% shedding from the first period on.
         let hook = |_s: &PeriodSnapshot| Decision::entry(0.5);
@@ -689,6 +742,7 @@ mod tests {
             headroom: 1.0,
             queue_capacity: 65_536,
             panic_on_tuple: None,
+            sample_every: crate::spans::DEFAULT_SAMPLE_EVERY,
         };
         let hook = |_s: &PeriodSnapshot| Decision::entry(0.01);
         let engine = RtEngine::spawn(cfg, hook);
@@ -713,6 +767,7 @@ mod tests {
             headroom: 0.97,
             queue_capacity: 4096,
             panic_on_tuple: None,
+            sample_every: crate::spans::DEFAULT_SAMPLE_EVERY,
         };
         let engine = RtEngine::spawn(cfg, NoShedding);
         for _ in 0..50 {
@@ -734,6 +789,7 @@ mod tests {
             headroom: 1.0,
             queue_capacity: 4096,
             panic_on_tuple: None,
+            sample_every: crate::spans::DEFAULT_SAMPLE_EVERY,
         };
         // Shed aggressively every period.
         let hook = |_s: &PeriodSnapshot| Decision::network(50_000.0);
@@ -755,6 +811,7 @@ mod tests {
             headroom: 1.0,
             queue_capacity: 4096,
             panic_on_tuple: Some(10),
+            sample_every: crate::spans::DEFAULT_SAMPLE_EVERY,
         };
         let engine = RtEngine::spawn(cfg, NoShedding);
         for _ in 0..60 {
@@ -778,6 +835,7 @@ mod tests {
             headroom: 1.0,
             queue_capacity: 8,
             panic_on_tuple: None,
+            sample_every: crate::spans::DEFAULT_SAMPLE_EVERY,
         };
         let engine = RtEngine::spawn(cfg, NoShedding);
         // Burst far past capacity before the worker can drain anything.
@@ -805,6 +863,7 @@ mod tests {
             headroom: 1.0,
             queue_capacity: 4096,
             panic_on_tuple: None,
+            sample_every: crate::spans::DEFAULT_SAMPLE_EVERY,
         };
         let engine = RtEngine::spawn(cfg, NoShedding);
         let mut total = crate::shard::BatchResult::default();
@@ -830,6 +889,7 @@ mod tests {
             headroom: 1.0,
             queue_capacity: 65_536,
             panic_on_tuple: None,
+            sample_every: crate::spans::DEFAULT_SAMPLE_EVERY,
         };
         let hook = |_s: &PeriodSnapshot| Decision::entry(0.5);
         let engine = RtEngine::spawn(cfg, hook);
@@ -853,6 +913,7 @@ mod tests {
             headroom: 1.0,
             queue_capacity: 4096,
             panic_on_tuple: None,
+            sample_every: crate::spans::DEFAULT_SAMPLE_EVERY,
         };
         // A hook that overruns the control period itself.
         let hook = |_s: &PeriodSnapshot| {
@@ -874,6 +935,7 @@ mod tests {
             headroom: 1.0,
             queue_capacity: 4096,
             panic_on_tuple: None,
+            sample_every: crate::spans::DEFAULT_SAMPLE_EVERY,
         };
         let engine = RtEngine::spawn(cfg, NoShedding);
         for _ in 0..40 {
@@ -905,6 +967,7 @@ mod tests {
             headroom: 1.0,
             queue_capacity: 4096,
             panic_on_tuple: None,
+            sample_every: crate::spans::DEFAULT_SAMPLE_EVERY,
         };
         let options = ObsOptions::for_target(cfg.target_delay);
         let engine = RtEngine::spawn_observed(cfg, NoShedding, &options).unwrap();
@@ -950,6 +1013,7 @@ mod tests {
             headroom: 1.0,
             queue_capacity: 4096,
             panic_on_tuple: None,
+            sample_every: crate::spans::DEFAULT_SAMPLE_EVERY,
         };
         // Command full shedding but let the actuator fault halve it.
         let plan = FaultPlan::new(5)

@@ -116,6 +116,11 @@ pub struct ShardConfig {
     /// pinning helps steady multicore throughput but hurts on
     /// oversubscribed or single-core hosts.
     pub pin_cores: bool,
+    /// Sojourn sampling rate for the latency truth plane: roughly every
+    /// Nth admitted tuple carries a span mark the worker closes at
+    /// retirement ([`spans`](crate::spans)). `0` disables sampling;
+    /// sampling only records when the engine is spawned observed.
+    pub sample_every: u32,
 }
 
 impl ShardConfig {
@@ -139,6 +144,7 @@ impl ShardConfig {
             dispatch: Dispatch::RoundRobin,
             seed: Self::DEFAULT_SEED,
             pin_cores: false,
+            sample_every: crate::spans::DEFAULT_SAMPLE_EVERY,
         }
     }
 }
@@ -190,6 +196,9 @@ struct Global {
     rr_next: AtomicU64,
     stop: AtomicBool,
     shedder: AtomicShedder,
+    /// Admitted-tuple accumulator driving sojourn sampling
+    /// ([`spans::sample_crossed`](crate::spans::sample_crossed)).
+    sample_acc: AtomicU64,
 }
 
 impl Global {
@@ -206,6 +215,7 @@ impl Global {
             rr_next: AtomicU64::new(0),
             stop: AtomicBool::new(false),
             shedder: AtomicShedder::new(seed),
+            sample_acc: AtomicU64::new(0),
         }
     }
 
@@ -378,7 +388,7 @@ impl ShardedEngine {
     where
         H: InstrumentedHook + Send + 'static,
     {
-        Self::spawn_sink(cfg, hook, recorder)
+        Self::spawn_sink(cfg, hook, recorder, None)
     }
 
     /// Spawns the engine with the live observability plane attached: the
@@ -396,7 +406,8 @@ impl ShardedEngine {
         H: InstrumentedHook + Send + 'static,
     {
         let plane = ObsPlane::new(options);
-        let mut engine = Self::spawn_sink(cfg, hook, Some(plane.clone()));
+        let spans = plane.spans().clone();
+        let mut engine = Self::spawn_sink(cfg, hook, Some(plane.clone()), Some(&spans));
         let server = match &options.http {
             Some(http) => {
                 let metrics = metrics_fn(&engine, Some(plane.clone()));
@@ -428,7 +439,12 @@ impl ShardedEngine {
 
     /// The shared implementation: spawns workers plus the global
     /// controller, recording each period's trace into `sink` when given.
-    fn spawn_sink<H, S>(cfg: ShardConfig, mut hook: H, sink: Option<S>) -> Self
+    fn spawn_sink<H, S>(
+        cfg: ShardConfig,
+        mut hook: H,
+        sink: Option<S>,
+        spans: Option<&crate::spans::SpanRegistry>,
+    ) -> Self
     where
         H: InstrumentedHook + Send + 'static,
         S: EventSink + Send + 'static,
@@ -436,6 +452,12 @@ impl ShardedEngine {
         assert!(cfg.shards >= 1, "need at least one shard");
         assert!(cfg.headroom > 0.0 && cfg.headroom <= 1.0);
         assert!(cfg.queue_capacity > 0, "queue capacity must be positive");
+        // Sampling marks are only closed by span-carrying workers, so a
+        // plain (unobserved) engine disables them and pays nothing.
+        let mut cfg = cfg;
+        if spans.is_none() {
+            cfg.sample_every = 0;
+        }
         let global = Arc::new(Global::new(cfg.seed));
         let epoch = Instant::now();
         let cores = crate::affinity::host_cores();
@@ -453,6 +475,7 @@ impl ShardedEngine {
                         panic_on_tuple: cfg.panic_on_tuple,
                         cost_model: cfg.cost_model,
                         pin_core: cfg.pin_cores.then_some(i % cores),
+                        spans: spans.map(|r| r.handle(&i.to_string())),
                     },
                 );
                 Shard {
@@ -633,7 +656,11 @@ impl ShardedEngine {
             return false;
         }
         let shard = &self.shards[idx];
-        match shard.ring.push(shard.ring.stamp_now()) {
+        let mut stamp = shard.ring.stamp_now();
+        if crate::spans::sample_crossings(&self.global.sample_acc, self.cfg.sample_every, 1) > 0 {
+            stamp |= crate::spans::SAMPLE_BIT;
+        }
+        match shard.ring.push(stamp) {
             Push::Pushed(1) => {
                 shard.stats.queue_len.fetch_add(1, Ordering::Relaxed);
                 shard.dispatched.fetch_add(1, Ordering::Relaxed);
@@ -766,27 +793,46 @@ impl ShardedEngine {
                 continue;
             }
             let stamp = *stamp.get_or_insert_with(|| self.epoch.elapsed().as_nanos() as u64);
-            match shard.ring.push_repeat(stamp, want as usize) {
-                Push::Pushed(got) => {
-                    let got = got as u64;
-                    if got > 0 {
-                        shard.stats.queue_len.fetch_add(got, Ordering::Relaxed);
-                        shard.dispatched.fetch_add(got, Ordering::Relaxed);
-                        res.dispatched += got;
-                    }
-                    if got < want {
-                        self.global
-                            .rejected_capacity
-                            .fetch_add(want - got, Ordering::Relaxed);
-                        res.rejected_capacity += want - got;
-                    }
+            // Sojourn sampling: the marked head of the sub-batch carries
+            // SAMPLE_BIT, preserving the 1-in-`sample_every` rate across
+            // batched admission. A second reservation only happens when
+            // this sub-batch crossed a sampling point.
+            let marked = crate::spans::sample_crossings(
+                &self.global.sample_acc,
+                self.cfg.sample_every,
+                want,
+            )
+            .min(want);
+            let mut got = 0u64;
+            let mut closed = false;
+            if marked > 0 {
+                match shard
+                    .ring
+                    .push_repeat(stamp | crate::spans::SAMPLE_BIT, marked as usize)
+                {
+                    Push::Pushed(g) => got += g as u64,
+                    Push::Closed => closed = true,
                 }
-                Push::Closed => {
-                    self.global
-                        .rejected_closed
-                        .fetch_add(want, Ordering::Relaxed);
-                    res.rejected_closed += want;
+            }
+            if !closed && want > marked {
+                match shard.ring.push_repeat(stamp, (want - marked) as usize) {
+                    Push::Pushed(g) => got += g as u64,
+                    Push::Closed => closed = true,
                 }
+            }
+            if got > 0 {
+                shard.stats.queue_len.fetch_add(got, Ordering::Relaxed);
+                shard.dispatched.fetch_add(got, Ordering::Relaxed);
+                res.dispatched += got;
+            }
+            if closed {
+                self.global.rejected_closed.fetch_add(want - got, Ordering::Relaxed);
+                res.rejected_closed += want - got;
+            } else if got < want {
+                self.global
+                    .rejected_capacity
+                    .fetch_add(want - got, Ordering::Relaxed);
+                res.rejected_capacity += want - got;
             }
         }
     }
@@ -830,6 +876,7 @@ impl ShardedEngine {
         if let Some(obs) = &self.obs {
             obs.plane.health().render_prom(&mut p);
             obs.plane.render_adapt_prom(&mut p);
+            obs.plane.spans().snapshot().render_prom(&mut p);
         }
         p.finish()
     }
@@ -847,6 +894,7 @@ fn metrics_fn(engine: &ShardedEngine, plane: Option<ObsPlane>) -> MetricsFn {
         if let Some(plane) = &plane {
             plane.health().render_prom(&mut p);
             plane.render_adapt_prom(&mut p);
+            plane.spans().snapshot().render_prom(&mut p);
         }
         p.finish()
     })
@@ -1099,6 +1147,7 @@ mod tests {
             dispatch: Dispatch::RoundRobin,
             seed: ShardConfig::DEFAULT_SEED,
             pin_cores: false,
+            sample_every: crate::spans::DEFAULT_SAMPLE_EVERY,
         }
     }
 

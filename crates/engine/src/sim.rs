@@ -326,6 +326,15 @@ pub struct Simulator {
     node_cost_ewma: Vec<f64>,
     /// Optional telemetry sink for engine-side spans (shedder hot path).
     telemetry: Option<SharedRecorder>,
+    /// Latency-truth-plane sink: every `u32`-th admitted root is tracked
+    /// end to end and closed at departure ([`Self::with_spans`]).
+    spans: Option<(crate::spans::SpanHandle, u32)>,
+    /// Admission counter driving every-Nth sojourn sampling.
+    spans_acc: u64,
+    /// Per-root accumulated execute wall (µs; `u64::MAX` = unsampled),
+    /// indexed in lockstep with the root slab. Admission always rewrites
+    /// the slot, so recycled `RootId`s can never inherit a stale sample.
+    spans_exec: Vec<u64>,
     /// Wall-clock anchor for paced runs (set on first loop iteration).
     pacing_started: Option<std::time::Instant>,
 }
@@ -409,6 +418,9 @@ impl Simulator {
             node_shed: vec![0; n_nodes],
             node_cost_ewma: vec![f64::NAN; n_nodes],
             telemetry: None,
+            spans: None,
+            spans_acc: 0,
+            spans_exec: Vec::new(),
             pacing_started: None,
         }
     }
@@ -425,6 +437,41 @@ impl Simulator {
     pub fn with_telemetry(mut self, recorder: SharedRecorder) -> Self {
         self.telemetry = Some(recorder);
         self
+    }
+
+    /// Attaches a latency-truth-plane span sink ([`crate::spans`]): every
+    /// `sample_every`-th admitted root is tracked end to end and closed at
+    /// departure with the exact virtual-time decomposition
+    /// `sojourn = ring_wait + execute`, where `execute` is the summed wall
+    /// time of the root's operator invocations (excluding the departing
+    /// invocation, whose wall lands after the departure instant) and
+    /// `ring_wait` is everything else the root spent queued. Sampled roots
+    /// shed mid-network lose their sample, mirroring the real-time
+    /// engines.
+    pub fn with_spans(mut self, handle: crate::spans::SpanHandle, sample_every: u32) -> Self {
+        self.spans = Some((handle, sample_every.max(1)));
+        self
+    }
+
+    /// Marks the freshly admitted `root` as span-sampled (or not),
+    /// unconditionally rewriting its slot so slab recycling never leaks a
+    /// stale sample.
+    #[inline]
+    fn note_admitted_root(&mut self, root: RootId) {
+        let Some((_, every)) = self.spans.as_ref() else {
+            return;
+        };
+        let every = *every as u64;
+        self.spans_acc += 1;
+        let idx = root.0 as usize;
+        if self.spans_exec.len() <= idx {
+            self.spans_exec.resize(idx + 1, u64::MAX);
+        }
+        self.spans_exec[idx] = if self.spans_acc.is_multiple_of(every) {
+            0
+        } else {
+            u64::MAX
+        };
     }
 
     /// Runs the simulation for `duration`, admitting tuples at the given
@@ -765,6 +812,7 @@ impl Simulator {
             }
             pc.admitted += 1;
             let root = self.roots.admit(t);
+            self.note_admitted_root(root);
             // Bounded key via widening multiply (Lemire) — uniform to
             // within 2⁻⁶⁴·key_space, with no 128-bit division per tuple.
             let key =
@@ -864,6 +912,7 @@ impl Simulator {
                 let t = arrival_times[start + j];
                 pc.admitted += 1;
                 let root = self.roots.admit(t);
+                self.note_admitted_root(root);
                 let key =
                     (((self.rng.next_u64() as u128) * (key_space as u128)) >> 64) as u64;
                 let value = self.rng.gen::<f64>();
@@ -1047,17 +1096,48 @@ impl Simulator {
         if pushed > 0 {
             self.roots.fork(tuple.root, pushed);
         }
-        if let Some(arrival) = self.roots.consume(tuple.root) {
+        let root_idx = tuple.root.0 as usize;
+        let departed = if let Some(arrival) = self.roots.consume(tuple.root) {
             let departure = self.clock;
             metrics.record_departure(arrival, departure);
             pc.completed += 1;
             pc.delay_sum_ms += (departure - arrival).as_millis_f64();
-        }
+            if let Some(exec_us) = self.spans_exec.get_mut(root_idx) {
+                if *exec_us != u64::MAX {
+                    // Close the sampled sojourn with the exact
+                    // decomposition: everything not spent executing this
+                    // root's tuples was spent waiting in queues.
+                    let exec = *exec_us;
+                    *exec_us = u64::MAX;
+                    let sojourn_us = (departure - arrival).0;
+                    if let Some((handle, _)) = self.spans.as_ref() {
+                        handle.record(crate::spans::Stage::Execute, exec * 1_000);
+                        handle.record(
+                            crate::spans::Stage::RingWait,
+                            sojourn_us.saturating_sub(exec) * 1_000,
+                        );
+                        handle.record_sojourn(sojourn_us * 1_000);
+                    }
+                }
+            }
+            true
+        } else {
+            false
+        };
 
         if self.clock >= self.cost_cache_until {
             self.refresh_cost_cache();
         }
         let (work, wall, w_us) = self.cost_cache[node_idx];
+        if !departed {
+            // This invocation's wall advances the clock after the return,
+            // so a still-live sampled root accrues it as execute time.
+            if let Some(exec_us) = self.spans_exec.get_mut(root_idx) {
+                if *exec_us != u64::MAX {
+                    *exec_us += wall.0;
+                }
+            }
+        }
         let ewma = &mut self.node_cost_ewma[node_idx];
         *ewma = if ewma.is_nan() {
             w_us
@@ -1744,6 +1824,37 @@ mod tests {
         // The engine timed its shed operations into the shared recorder.
         let span = rec.span_stats(SpanKind::Shedder);
         assert!(span.count >= 7, "one shed per period from k=2, got {}", span.count);
+    }
+
+    #[test]
+    fn spans_decompose_sampled_sojourn_exactly() {
+        // A two-operator chain under 2× overload: sampled roots accrue
+        // real queueing, and the virtual-time decomposition must satisfy
+        // sojourn = ring_wait + execute *exactly* (sums and counts).
+        use crate::spans::Stage;
+        let mut b = NetworkBuilder::new();
+        let a = b.add("a", millis(2), Map::identity());
+        let m = b.add("m", millis(3), Map::scale(2.0));
+        b.connect(a, m);
+        b.entry(a);
+        let registry = crate::spans::SpanRegistry::new();
+        let sim = Simulator::new(b.build().unwrap(), SimConfig::paper_default())
+            .with_spans(registry.handle("sim"), 8);
+        let report = sim.run(&uniform_arrivals(400.0, 5.0), &mut NoShedding, secs(5));
+        assert!(report.completed > 0);
+        let prof = registry.snapshot();
+        let sojourn = &prof.sojourn;
+        let ring = &prof.stages[Stage::RingWait.index()];
+        let exec = &prof.stages[Stage::Execute.index()];
+        assert!(sojourn.count() > 10, "sampled {} sojourns", sojourn.count());
+        assert_eq!(sojourn.count(), ring.count());
+        assert_eq!(sojourn.count(), exec.count());
+        assert_eq!(sojourn.sum(), ring.sum() + exec.sum());
+        // Each sampled root ran both operators at least once before its
+        // departing invocation, so execute time is strictly positive, and
+        // the overloaded queue dominates the sojourn.
+        assert!(exec.sum() > 0);
+        assert!(ring.sum() > exec.sum());
     }
 
     #[test]

@@ -1087,10 +1087,71 @@ impl PromText {
         self
     }
 
+    /// Appends a `# HELP`/`# TYPE` preamble for a multi-sample family
+    /// (`kind` is `"counter"`, `"gauge"`, or `"histogram"`) and returns
+    /// the full prefixed name. Follow with
+    /// [`sample_with_labels`](Self::sample_with_labels) — one preamble,
+    /// many samples, per the exposition format.
+    pub fn family(&mut self, name: &str, help: &str, kind: &str) -> String {
+        self.preamble(name, help, kind)
+    }
+
+    /// Appends one sample line `full{k1="v1",k2="v2"} value` with every
+    /// label value escaped per the exposition format. `full` is a name
+    /// returned by [`family`](Self::family), optionally suffixed
+    /// (`_bucket`, `_sum`, `_count` for histograms).
+    pub fn sample_with_labels(
+        &mut self,
+        full: &str,
+        labels: &[(&str, &str)],
+        value: f64,
+    ) -> &mut Self {
+        let mut series = String::with_capacity(full.len() + 24 * labels.len());
+        series.push_str(full);
+        if !labels.is_empty() {
+            series.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    series.push(',');
+                }
+                series.push_str(k);
+                series.push_str("=\"");
+                escape_label_value(&mut series, v);
+                series.push('"');
+            }
+            series.push('}');
+        }
+        self.write_value(&series, value);
+        self
+    }
+
     /// The rendered exposition text.
     pub fn finish(self) -> String {
         self.out
     }
+}
+
+/// Escapes `s` as a quoted JSON string (quotes included): `"`, `\`,
+/// and control characters are escaped per RFC 8259.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 #[cfg(test)]

@@ -36,6 +36,7 @@ fn stress_cfg(shards: usize) -> ShardConfig {
         dispatch: Dispatch::RoundRobin,
         seed: ShardConfig::DEFAULT_SEED,
         pin_cores: false,
+        sample_every: streamshed_engine::spans::DEFAULT_SAMPLE_EVERY,
     }
 }
 
@@ -189,6 +190,7 @@ fn rt_engine_concurrent_offers_balance_with_panic() {
             headroom: 1.0,
             queue_capacity: 2048,
             panic_on_tuple: Some(50),
+            sample_every: streamshed_engine::spans::DEFAULT_SAMPLE_EVERY,
         };
         let engine = RtEngine::spawn(cfg, churn_hook());
         std::thread::scope(|s| {

@@ -11,6 +11,9 @@
 //! * **fault_consistency** — the post-hoc diagnostics verdict agrees
 //!   with the injected fault class (hook faults stamp fault flags,
 //!   plant-side and clean cells stamp none);
+//! * **span_conservation** — the latency truth plane's sampled
+//!   decomposition is exact: every sampled sojourn equals its
+//!   `ring_wait + execute` stage times to the nanosecond;
 //! * **bounded_delay** — under a supervised controller the tail delay
 //!   recovers below a fixed bound after every fault window closes;
 //! * **no_spurious_anomalies** — nominal (clean, paper-tuned) cells
@@ -345,6 +348,14 @@ pub struct ShardRunStats {
     pub anomalies: u64,
     /// Fraction of periods classified `Healthy`.
     pub healthy_fraction: f64,
+    /// Sampled sojourns closed by the latency truth plane.
+    pub span_samples: u64,
+    /// Σ sampled end-to-end sojourn, ns.
+    pub span_sojourn_ns: u64,
+    /// Σ sampled `ring_wait` + `execute` stage time, ns.
+    pub span_stage_ns: u64,
+    /// Whether every per-stage sample count matched the sojourn count.
+    pub span_counts_equal: bool,
 }
 
 impl ToJson for ShardRunStats {
@@ -362,6 +373,10 @@ impl ToJson for ShardRunStats {
             "faulted_periods": self.faulted_periods,
             "anomalies": self.anomalies,
             "healthy_fraction": self.healthy_fraction,
+            "span_samples": self.span_samples,
+            "span_sojourn_ns": self.span_sojourn_ns,
+            "span_stage_ns": self.span_stage_ns,
+            "span_counts_equal": self.span_counts_equal,
         })
     }
 }
@@ -494,6 +509,37 @@ pub fn check_no_spurious_anomalies(shards: &[ShardRunStats]) -> InvariantResult 
     InvariantResult::pass("no_spurious_anomalies", "no anomalous state entered".into())
 }
 
+/// Invariant: the latency truth plane's sampled decomposition is exact
+/// in virtual time — every sampled sojourn closed with matching
+/// `ring_wait` and `execute` samples, and the sums obey
+/// `Σ sojourn == Σ ring_wait + Σ execute` to the nanosecond.
+pub fn check_span_conservation(shards: &[ShardRunStats]) -> InvariantResult {
+    let mut samples = 0u64;
+    for (i, s) in shards.iter().enumerate() {
+        if !s.span_counts_equal {
+            return InvariantResult::fail(
+                "span_conservation",
+                format!("shard {i}: per-stage sample counts disagree with the sojourn count"),
+            );
+        }
+        if s.span_sojourn_ns != s.span_stage_ns {
+            return InvariantResult::fail(
+                "span_conservation",
+                format!(
+                    "shard {i}: Σ sojourn {} ns != Σ ring_wait + execute {} ns \
+                     over {} sample(s)",
+                    s.span_sojourn_ns, s.span_stage_ns, s.span_samples
+                ),
+            );
+        }
+        samples += s.span_samples;
+    }
+    InvariantResult::pass(
+        "span_conservation",
+        format!("{samples} sampled sojourn(s) decompose exactly into stage times"),
+    )
+}
+
 /// Invariant: the replay re-run reproduced a byte-identical digest.
 pub fn check_replay(digest: u64, replay_digest: u64) -> InvariantResult {
     if digest == replay_digest {
@@ -512,7 +558,7 @@ pub fn digest_shards(shards: &[ShardRunStats]) -> u64 {
     let mut buf = String::new();
     for s in shards {
         buf.push_str(&format!(
-            "o{}e{}n{}c{}q{}r{}t{:016x}v{:016x}p{}f{}a{}h{:016x};",
+            "o{}e{}n{}c{}q{}r{}t{:016x}v{:016x}p{}f{}a{}h{:016x}s{}y{}g{};",
             s.offered,
             s.dropped_entry,
             s.dropped_network,
@@ -525,6 +571,9 @@ pub fn digest_shards(shards: &[ShardRunStats]) -> u64 {
             s.faulted_periods,
             s.anomalies,
             s.healthy_fraction.to_bits(),
+            s.span_samples,
+            s.span_sojourn_ns,
+            s.span_stage_ns,
         ));
     }
     fnv1a64(buf.as_bytes())
@@ -646,7 +695,15 @@ fn run_shard(spec: &CellSpec, seed: u64, sabotage: bool) -> ShardRunStats {
 
     let plan = plan_for(spec.fault, seed);
     let recorder = SharedRecorder::with_capacity(DURATION_S as usize + 8);
-    let sim = Simulator::new(net, sim_cfg).with_telemetry(recorder.clone());
+    // Latency truth plane: sampled sojourns must decompose exactly into
+    // ring_wait + execute in virtual time (the span_conservation
+    // invariant). Sampling is a pure function of the admission count,
+    // so this keeps the cell byte-deterministic.
+    let spans = streamshed_engine::spans::SpanRegistry::new();
+    let sim = Simulator::new(net, sim_cfg).with_telemetry(recorder.clone()).with_spans(
+        spans.handle("sim"),
+        streamshed_engine::spans::DEFAULT_SAMPLE_EVERY,
+    );
     // Sabotage mode (used by the harness's own self-test and the CI
     // regression drill): silently run the *bare* loop where the cell
     // says paper tuning — the bounded-delay invariant must catch it.
@@ -710,6 +767,10 @@ fn run_shard(spec: &CellSpec, seed: u64, sabotage: bool) -> ShardRunStats {
     }
     let snap = health.snapshot();
 
+    let prof = spans.snapshot();
+    let ring = &prof.stages[streamshed_engine::spans::Stage::RingWait.index()];
+    let exec = &prof.stages[streamshed_engine::spans::Stage::Execute.index()];
+
     ShardRunStats {
         offered: report.offered,
         dropped_entry: report.dropped_entry,
@@ -723,6 +784,11 @@ fn run_shard(spec: &CellSpec, seed: u64, sabotage: bool) -> ShardRunStats {
         faulted_periods: snap.faulted_periods,
         anomalies: snap.anomalies,
         healthy_fraction: snap.healthy_fraction(),
+        span_samples: prof.sojourn.count(),
+        span_sojourn_ns: prof.sojourn.sum(),
+        span_stage_ns: ring.sum() + exec.sum(),
+        span_counts_equal: ring.count() == prof.sojourn.count()
+            && exec.count() == prof.sojourn.count(),
     }
 }
 
@@ -741,6 +807,7 @@ pub fn evaluate_cell(
     let mut out = vec![
         check_conservation(shards),
         check_fault_consistency(spec.fault, shards),
+        check_span_conservation(shards),
     ];
     if spec.supervised() {
         out.push(check_bounded_delay(shards, TAIL_BOUND_S));
@@ -1002,6 +1069,10 @@ mod tests {
             faulted_periods: if hook_fault { 40 } else { 0 },
             anomalies: 0,
             healthy_fraction: 0.8,
+            span_samples: 10,
+            span_sojourn_ns: 5_000_000,
+            span_stage_ns: 5_000_000,
+            span_counts_equal: true,
         }
     }
 
@@ -1127,6 +1198,27 @@ mod tests {
             assert!(check_fault_consistency("clean", &[clean.clone()]).passed);
             clean.faulted_periods = s % 120 + 1;
             assert!(!check_fault_consistency("clean", &[clean]).passed);
+        }
+    }
+
+    #[test]
+    fn prop_span_conservation_checker_catches_any_leaked_nanosecond() {
+        let mut s = 0xC0FF_EE00u64;
+        for _ in 0..64 {
+            s = splitmix64(s);
+            let mut stats = balanced_stats(false);
+            assert!(check_span_conservation(&[stats.clone()]).passed);
+            // Leak 1..=1024 ns out of either side of the identity, or
+            // desynchronise the per-stage sample counts.
+            let delta = s % 1024 + 1;
+            match s % 3 {
+                0 => stats.span_sojourn_ns += delta,
+                1 => stats.span_stage_ns += delta,
+                _ => stats.span_counts_equal = false,
+            }
+            let verdict = check_span_conservation(&[balanced_stats(false), stats]);
+            assert!(!verdict.passed, "leaked stage time survived: {verdict:?}");
+            assert!(verdict.detail.contains("shard 1"));
         }
     }
 

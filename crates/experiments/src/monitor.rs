@@ -17,10 +17,18 @@
 //!    the classifier must flag `Saturated` within 5 periods of the
 //!    first violation (design: 3), again with a flight bundle.
 //!
+//! 4. **slow operator** — the latency truth plane's acceptance check:
+//!    two below-capacity A/B arms, one at the nominal per-tuple cost
+//!    and one with the cost tripled (the injected fault). `/profile` is
+//!    polled [`DETECT_BUDGET`] control periods into each arm; the added
+//!    sojourn between the arms must be attributed ≥ 80% to the
+//!    `execute` stage by the sampled span decomposition.
+//!
 //! During every phase the experiment polls the engine's *own* HTTP
-//! endpoints (`/metrics`, `/health`, `/ready`, `/trace`) mid-run and
-//! records their status codes — the acceptance criterion is that the
-//! plane answers live while the data plane is under fault, not after.
+//! endpoints (`/metrics`, `/health`, `/ready`, `/trace`, `/profile`)
+//! mid-run and records their status codes — the acceptance criterion is
+//! that the plane answers live while the data plane is under fault, not
+//! after.
 //!
 //! Wall-clock, so excluded from `reproduce all` (like `sharded`); run
 //! explicitly with `reproduce monitor`.
@@ -81,8 +89,12 @@ pub struct PhaseOutcome {
     pub ready_status: u16,
     /// `/trace?last=32` status mid-run.
     pub trace_status: u16,
+    /// `/profile` status mid-run.
+    pub profile_status: u16,
     /// Whether `/metrics` carried the diagnostics families.
     pub metrics_has_diag: bool,
+    /// Whether `/profile` carried the per-stage percentile tables.
+    pub profile_has_stages: bool,
     /// Whether `/trace` returned a JSON array of trace objects.
     pub trace_is_json: bool,
     /// Control periods the classifier observed.
@@ -130,6 +142,7 @@ where
         dispatch: Dispatch::RoundRobin,
         seed,
         pin_cores: false,
+        sample_every: streamshed_engine::spans::DEFAULT_SAMPLE_EVERY,
     };
     let mut options = ObsOptions::for_target(Duration::from_millis(TARGET_MS as u64))
         .with_flight_dir(flight_dir.clone());
@@ -142,7 +155,7 @@ where
     let tick = Duration::from_millis(5);
     let per_tick = (rate * tick.as_secs_f64()).round() as u64;
     let poll_at = run / 2;
-    let mut polls: Option<[(u16, String); 4]> = None;
+    let mut polls: Option<[(u16, String); 5]> = None;
     let start = Instant::now();
     let mut next = start + tick;
     while start.elapsed() < run {
@@ -152,7 +165,13 @@ where
             let get = |path: &str| {
                 http_get(addr, path, Duration::from_secs(2)).unwrap_or((0, String::new()))
             };
-            polls = Some([get("/metrics"), get("/health"), get("/ready"), get("/trace?last=32")]);
+            polls = Some([
+                get("/metrics"),
+                get("/health"),
+                get("/ready"),
+                get("/trace?last=32"),
+                get("/profile"),
+            ]);
         }
         let now = Instant::now();
         if next > now {
@@ -160,7 +179,7 @@ where
         }
         next += tick;
     }
-    let [metrics, health, ready, trace] =
+    let [metrics, health, ready, trace, profile] =
         polls.unwrap_or_else(|| std::array::from_fn(|_| (0, String::new())));
 
     let plane = engine.obs().expect("plane attached").plane.clone();
@@ -203,7 +222,9 @@ where
         health_status: health.0,
         ready_status: ready.0,
         trace_status: trace.0,
+        profile_status: profile.0,
         metrics_has_diag: metrics.1.contains("streamshed_diag_state"),
+        profile_has_stages: profile.1.contains("\"stages\"") && profile.1.contains("\"execute\""),
         trace_is_json: trace.1.trim_start().starts_with('[') && trace.1.contains("\"alpha\""),
         periods: snap.periods,
         trajectory,
@@ -250,6 +271,116 @@ pub fn run_saturation(run: Duration, seed: u64) -> PhaseOutcome {
     run_phase("saturation", NoShedding, rate, run, &flight_dir("saturation"), seed)
 }
 
+/// Outcome of the slow-operator attribution phase (phase 4).
+#[derive(Debug, Clone)]
+pub struct SlowOpOutcome {
+    /// `/profile` status polled mid-run on the faulted arm.
+    pub profile_status: u16,
+    /// Whether the faulted arm's `/profile` body carried the stage tables.
+    pub profile_has_stages: bool,
+    /// Sampled sojourns closed in the baseline arm by the poll.
+    pub sampled_base: u64,
+    /// Sampled sojourns closed in the faulted arm by the poll.
+    pub sampled_slow: u64,
+    /// Mean end-to-end sojourn added by the fault, ms.
+    pub added_sojourn_ms: f64,
+    /// Mean `execute`-stage time added by the fault, ms.
+    pub added_execute_ms: f64,
+    /// `added_execute / added_sojourn` — the stage attribution.
+    pub attribution_frac: f64,
+    /// Whether ≥ 80% of the added sojourn landed on `execute` within
+    /// [`DETECT_BUDGET`] periods.
+    pub attributed: bool,
+}
+
+/// One arm of the slow-operator experiment: spawns the observed engine
+/// at `cost`, feeds well below capacity, and returns the `/profile`
+/// poll taken [`DETECT_BUDGET`] control periods in together with the
+/// span snapshot captured at that same instant.
+fn run_slowop_arm(
+    cost: Duration,
+    seed: u64,
+) -> (u16, String, streamshed_engine::spans::ProfileSnapshot) {
+    let cfg = ShardConfig {
+        shards: SHARDS,
+        cost,
+        period: PERIOD,
+        target_delay: Duration::from_millis(TARGET_MS as u64),
+        headroom: 0.97,
+        queue_capacity: 8192,
+        panic_on_tuple: None,
+        cost_model: CostModel::Sleep,
+        dispatch: Dispatch::RoundRobin,
+        seed,
+        pin_cores: false,
+        // Dense sampling: the attribution check needs tens of closed
+        // sojourns inside the 5-period budget at a sub-capacity rate.
+        sample_every: 2,
+    };
+    let options = ObsOptions::for_target(Duration::from_millis(TARGET_MS as u64));
+    let engine =
+        ShardedEngine::spawn_observed(cfg, NoShedding, &options).expect("plane starts");
+    let addr = engine.obs().and_then(|o| o.addr()).expect("HTTP endpoint is live");
+    let plane = engine.obs().expect("plane attached").plane.clone();
+
+    // Below capacity at either cost (2 shards × 166/s at the tripled
+    // cost), so queueing stays small and the added sojourn is the
+    // operator's own service time.
+    let rate = 200.0;
+    let tick = Duration::from_millis(5);
+    let per_tick = (rate * tick.as_secs_f64()).round() as usize;
+    let poll_at = PERIOD * DETECT_BUDGET as u32;
+    let run = poll_at + PERIOD;
+    let start = Instant::now();
+    let mut next = start + tick;
+    let mut poll = None;
+    while start.elapsed() < run {
+        engine.offer_batch(per_tick);
+        if poll.is_none() && start.elapsed() >= poll_at {
+            let (status, body) =
+                http_get(addr, "/profile", Duration::from_secs(2)).unwrap_or((0, String::new()));
+            poll = Some((status, body, plane.spans().snapshot()));
+        }
+        let now = Instant::now();
+        if next > now {
+            std::thread::sleep(next - now);
+        }
+        next += tick;
+    }
+    engine.shutdown();
+    poll.unwrap_or_else(|| (0, String::new(), plane.spans().snapshot()))
+}
+
+/// Phase 4: the latency truth plane localising an injected slow
+/// operator. Two A/B arms below capacity — nominal cost vs tripled
+/// cost — compared via the span snapshots taken at the
+/// [`DETECT_BUDGET`]-period poll.
+pub fn run_slowop(seed: u64) -> SlowOpOutcome {
+    use streamshed_engine::spans::Stage;
+    let (_, _, base) = run_slowop_arm(COST, seed);
+    let (status, body, slow) = run_slowop_arm(COST * 3, seed);
+    let exec_ms =
+        |p: &streamshed_engine::spans::ProfileSnapshot| p.stages[Stage::Execute.index()].mean() / 1e6;
+    let sojourn_ms = |p: &streamshed_engine::spans::ProfileSnapshot| p.sojourn.mean() / 1e6;
+    let added_sojourn_ms = sojourn_ms(&slow) - sojourn_ms(&base);
+    let added_execute_ms = exec_ms(&slow) - exec_ms(&base);
+    let attribution_frac = if added_sojourn_ms > 0.0 {
+        added_execute_ms / added_sojourn_ms
+    } else {
+        f64::NAN
+    };
+    SlowOpOutcome {
+        profile_status: status,
+        profile_has_stages: body.contains("\"stages\"") && body.contains("\"execute\""),
+        sampled_base: base.sojourn.count(),
+        sampled_slow: slow.sojourn.count(),
+        added_sojourn_ms,
+        added_execute_ms,
+        attribution_frac,
+        attributed: attribution_frac.is_finite() && attribution_frac >= 0.8,
+    }
+}
+
 /// Summarises one phase into figure summary entries.
 fn summarize(out: &mut Vec<(String, f64)>, notes: &mut Vec<String>, p: &PhaseOutcome) {
     out.push((format!("{}_healthy_fraction", p.name), p.healthy_fraction));
@@ -263,10 +394,11 @@ fn summarize(out: &mut Vec<(String, f64)>, notes: &mut Vec<String>, p: &PhaseOut
     out.push((format!("{}_health_status", p.name), f64::from(p.health_status)));
     out.push((format!("{}_ready_status", p.name), f64::from(p.ready_status)));
     out.push((format!("{}_trace_status", p.name), f64::from(p.trace_status)));
+    out.push((format!("{}_profile_status", p.name), f64::from(p.profile_status)));
     notes.push(format!(
         "{}: final state {} after {} periods, {:.0}% healthy, {} anomalies{}, \
          {} flight bundle(s); live endpoints mid-run: /metrics {} (diag families: {}), \
-         /health {}, /ready {}, /trace {} (json: {})",
+         /health {}, /ready {}, /trace {} (json: {}), /profile {} (stage tables: {})",
         p.name,
         p.final_state,
         p.periods,
@@ -283,6 +415,8 @@ fn summarize(out: &mut Vec<(String, f64)>, notes: &mut Vec<String>, p: &PhaseOut
         p.ready_status,
         p.trace_status,
         p.trace_is_json,
+        p.profile_status,
+        p.profile_has_stages,
     ));
 }
 
@@ -318,6 +452,30 @@ pub fn run(seed: u64) -> FigureResult {
     } else {
         "WARNING: an injected fault was not flagged within budget".to_string()
     });
+    let slowop = run_slowop(seed);
+    summary.push(("slowop_profile_status".to_string(), f64::from(slowop.profile_status)));
+    summary.push(("slowop_attribution_frac".to_string(), slowop.attribution_frac));
+    summary.push(("slowop_added_sojourn_ms".to_string(), slowop.added_sojourn_ms));
+    summary.push(("slowop_added_execute_ms".to_string(), slowop.added_execute_ms));
+    summary.push(("slowop_sampled_base".to_string(), slowop.sampled_base as f64));
+    summary.push(("slowop_sampled_slow".to_string(), slowop.sampled_slow as f64));
+    notes.push(format!(
+        "slow operator: /profile {} (stage tables: {}) at the {DETECT_BUDGET}-period poll; \
+         +{:.2} ms sojourn of which +{:.2} ms execute ({:.0}% attribution, \
+         {} / {} sampled sojourns){}",
+        slowop.profile_status,
+        slowop.profile_has_stages,
+        slowop.added_sojourn_ms,
+        slowop.added_execute_ms,
+        slowop.attribution_frac * 100.0,
+        slowop.sampled_base,
+        slowop.sampled_slow,
+        if slowop.attributed {
+            " — >=80% of the added sojourn localised to the execute stage"
+        } else {
+            " — WARNING: attribution below the 80% acceptance bound"
+        },
+    ));
     FigureResult {
         id: "monitor".into(),
         title: "Observability plane: live self-monitoring under injected faults".into(),

@@ -30,11 +30,11 @@ use std::sync::Arc;
 use std::time::Duration;
 use streamshed_control::loop_::LoopConfig;
 use streamshed_control::strategy::CtrlStrategy;
+use streamshed_engine::obs::ObsOptions;
 use streamshed_engine::shard::{Dispatch, ShardConfig, ShardedEngine};
-use streamshed_engine::telemetry::SharedRecorder;
 use streamshed_engine::worker::CostModel;
 use streamshed_net::loadgen::{self, Arrivals, LoadgenConfig, Mode};
-use streamshed_net::server::{NetConfig, NetServer};
+use streamshed_net::server::{NetConfig, NetObs, NetServer};
 use streamshed_net::sys;
 
 /// Nominal per-tuple service cost (≈ 500 t/s capacity at 1 shard).
@@ -49,6 +49,12 @@ const RUN: Duration = Duration::from_secs(6);
 const OVERLOAD: f64 = 3.0;
 /// Client connections in the overload fleet.
 const FLEET: usize = 8;
+/// Loopback budget for the latency-truth cross-check, ms: the client's
+/// reply RTT must exceed the server's frame turnaround (the wire, the
+/// client's batch pacing, and both poll loops sit between them) by at
+/// most this much at p99. Generous because the open-loop fleet batches
+/// 16 frames per flush and both ends run 5 ms-scale poll ticks.
+pub const LOOPBACK_BUDGET_MS: f64 = 50.0;
 
 /// Outcome of the 3× overload phase.
 #[derive(Debug, Clone)]
@@ -69,6 +75,14 @@ pub struct NetRun {
     pub fairness_jain: f64,
     /// Coefficient of variation of per-connection shed ratios.
     pub shed_ratio_cv: f64,
+    /// Server-side p99 frame turnaround (read → reply enqueued), ms.
+    pub server_turnaround_p99_ms: f64,
+    /// Client-side p99 reply RTT from the fleet's histograms, ms.
+    pub client_rtt_p99_ms: f64,
+    /// Sampled frames behind the server-side histogram.
+    pub server_turnaround_samples: u64,
+    /// `client p99 − server p99` within `[0, LOOPBACK_BUDGET_MS]`.
+    pub rtt_cross_check: bool,
 }
 
 /// Runs the CTRL strategy behind a loopback `NetServer` under a 3×
@@ -87,6 +101,7 @@ pub fn run_overload(seed: u64) -> NetRun {
         dispatch: Dispatch::RoundRobin,
         seed,
         pin_cores: false,
+        sample_every: streamshed_engine::spans::DEFAULT_SAMPLE_EVERY,
     };
     let loop_cfg = LoopConfig::paper_default()
         .with_target_delay_ms(TARGET_MS)
@@ -94,8 +109,16 @@ pub fn run_overload(seed: u64) -> NetRun {
         .with_headroom(0.97)
         .with_prior_cost_us(COST.as_micros() as f64);
     let strategy = CtrlStrategy::from_config(&loop_cfg);
-    let recorder = SharedRecorder::with_capacity(4096);
-    let engine = Arc::new(ShardedEngine::spawn_recorded(cfg, strategy, Some(recorder.clone())));
+    // Observed spawn so the latency truth plane is live: the listener
+    // threads get span slots and the run can cross-check server-side
+    // frame turnaround against the fleet's reply RTTs.
+    let options = ObsOptions::for_target(Duration::from_millis(TARGET_MS as u64));
+    let engine = Arc::new(
+        ShardedEngine::spawn_observed(cfg, strategy, &options).expect("observability plane starts"),
+    );
+    let plane = engine.obs().expect("plane attached").plane.clone();
+    let recorder = plane.recorder().clone();
+    let net_obs = NetObs { metrics: engine.metrics_fn(), plane: Some(plane.clone()) };
     let server = NetServer::start(
         NetConfig {
             addr: "127.0.0.1:0".into(),
@@ -103,7 +126,7 @@ pub fn run_overload(seed: u64) -> NetRun {
             ..NetConfig::default()
         },
         engine.clone(),
-        None,
+        Some(net_obs),
     )
     .expect("loopback listener binds");
     let stats = server.stats();
@@ -124,6 +147,22 @@ pub fn run_overload(seed: u64) -> NetRun {
         ..LoadgenConfig::default()
     })
     .expect("fleet runs");
+
+    // Latency truth cross-check: the listener threads' sampled frame
+    // turnaround (read → reply enqueued, the `net*` span slots) against
+    // the fleet's own reply RTTs. The client side must sit above the
+    // server side (the wire and both poll loops are in between) but by
+    // no more than the loopback budget.
+    let span_snap = plane.spans().snapshot();
+    let mut turnaround = streamshed_engine::histo::Histo::new();
+    for lp in span_snap.labels.iter().filter(|lp| lp.label.starts_with("net")) {
+        turnaround.merge(&lp.sojourn);
+    }
+    let server_turnaround_p99_ms = turnaround.quantile(0.99) as f64 / 1e6;
+    let client_rtt_p99_ms = report.rtt_p99_ms;
+    let rtt_gap_ms = client_rtt_p99_ms - server_turnaround_p99_ms;
+    let rtt_cross_check =
+        turnaround.count() > 0 && (0.0..=LOOPBACK_BUDGET_MS).contains(&rtt_gap_ms);
 
     server.shutdown();
     let engine_report = Arc::try_unwrap(engine)
@@ -163,6 +202,10 @@ pub fn run_overload(seed: u64) -> NetRun {
         conserved,
         fairness_jain: report.fairness_jain,
         shed_ratio_cv: report.shed_ratio_cv,
+        server_turnaround_p99_ms,
+        client_rtt_p99_ms,
+        server_turnaround_samples: turnaround.count(),
+        rtt_cross_check,
     }
 }
 
@@ -229,6 +272,19 @@ pub fn run(seed: u64) -> FigureResult {
         ("shed_ratio_cv".to_string(), overload.shed_ratio_cv),
         ("connections_held".to_string(), held as f64),
         ("connections_held_target".to_string(), held_target as f64),
+        (
+            "server_turnaround_p99_ms".to_string(),
+            overload.server_turnaround_p99_ms,
+        ),
+        ("client_rtt_p99_ms".to_string(), overload.client_rtt_p99_ms),
+        (
+            "rtt_cross_check_budget_ms".to_string(),
+            LOOPBACK_BUDGET_MS,
+        ),
+        (
+            "rtt_cross_check_ok".to_string(),
+            if overload.rtt_cross_check { 1.0 } else { 0.0 },
+        ),
     ];
     let notes = vec![
         format!(
@@ -254,6 +310,16 @@ pub fn run(seed: u64) -> FigureResult {
             "idle fleet held {held}/{held_target} concurrent connections in-process \
              (fd-budget-clamped; the 10k+ cross-process demonstration is the CI \
              net-smoke lane / README quickstart)"
+        ),
+        format!(
+            "latency truth cross-check: server p99 frame turnaround {:.2} ms \
+             ({} sampled frames) vs client p99 reply RTT {:.2} ms — gap {:.2} ms \
+             {} the {LOOPBACK_BUDGET_MS:.0} ms loopback budget",
+            overload.server_turnaround_p99_ms,
+            overload.server_turnaround_samples,
+            overload.client_rtt_p99_ms,
+            overload.client_rtt_p99_ms - overload.server_turnaround_p99_ms,
+            if overload.rtt_cross_check { "within" } else { "OUTSIDE" },
         ),
     ];
     FigureResult {

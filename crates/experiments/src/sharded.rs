@@ -70,6 +70,7 @@ pub fn run_once(shards: usize, seed: u64) -> ShardRun {
         dispatch: Dispatch::RoundRobin,
         seed,
         pin_cores: false,
+        sample_every: streamshed_engine::spans::DEFAULT_SAMPLE_EVERY,
     };
     // The controller is the unchanged pole-placement loop; only its cost
     // prior reflects the aggregate plant (c/N — the engine's measured

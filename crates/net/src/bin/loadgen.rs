@@ -94,6 +94,11 @@ fn main() {
         }
     };
     println!("{}", report.to_json());
+    eprintln!(
+        "loadgen: rtt p50 {:.3} ms, p99 {:.3} ms, p999 {:.3} ms, max {:.3} ms \
+         over {} replies",
+        report.rtt_p50_ms, report.rtt_p99_ms, report.rtt_p999_ms, report.rtt_max_ms, report.replies
+    );
     let mut failed = false;
     if require_conserved && !report.conserved() {
         eprintln!(

@@ -117,6 +117,7 @@ fn main() {
         dispatch: Dispatch::RoundRobin,
         seed: args.seed,
         pin_cores: args.pin,
+        sample_every: streamshed_engine::spans::DEFAULT_SAMPLE_EVERY,
     };
     let loop_cfg = LoopConfig::paper_default()
         .with_target_delay_ms(args.target_ms)

@@ -149,6 +149,16 @@ pub struct LoadgenReport {
     pub rtt_mean_ms: f64,
     /// Worst frame round-trip, ms.
     pub rtt_max_ms: f64,
+    /// Median frame round-trip, ms.
+    pub rtt_p50_ms: f64,
+    /// 99th-percentile frame round-trip, ms.
+    pub rtt_p99_ms: f64,
+    /// 99.9th-percentile frame round-trip, ms.
+    pub rtt_p999_ms: f64,
+    /// The merged per-connection RTT histogram (µs values), for callers
+    /// that want quantiles beyond the three exported above — e.g. the
+    /// server-side sojourn cross-check in the experiments crate.
+    pub rtt_histo: streamshed_engine::histo::Histo,
 }
 
 impl LoadgenReport {
@@ -167,7 +177,9 @@ impl LoadgenReport {
              \"frames_sent\":{},\"replies\":{},\"error_replies\":{},\
              \"elapsed_s\":{:.3},\"send_rate_tps\":{:.1},\"accepted_rate_tps\":{:.1},\
              \"fairness_jain\":{:.4},\"shed_ratio_cv\":{:.4},\
-             \"rtt_mean_ms\":{:.3},\"rtt_max_ms\":{:.3},\"conserved\":{}}}",
+             \"rtt_mean_ms\":{:.3},\"rtt_max_ms\":{:.3},\
+             \"rtt_p50_ms\":{:.3},\"rtt_p99_ms\":{:.3},\"rtt_p999_ms\":{:.3},\
+             \"conserved\":{}}}",
             self.connections_target,
             self.connections_established,
             self.connections_lost,
@@ -187,6 +199,9 @@ impl LoadgenReport {
             self.shed_ratio_cv,
             self.rtt_mean_ms,
             self.rtt_max_ms,
+            self.rtt_p50_ms,
+            self.rtt_p99_ms,
+            self.rtt_p999_ms,
             self.conserved(),
         )
     }
@@ -214,6 +229,8 @@ struct ClientConn {
     error_replies: u64,
     rtt_sum_us: u64,
     rtt_max_us: u64,
+    /// Per-connection RTT histogram (µs), merged into the fleet report.
+    rtt_histo: streamshed_engine::histo::Histo,
     dead: bool,
 }
 
@@ -323,6 +340,15 @@ pub fn run(cfg: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
         r.rtt_mean_ms = sum as f64 / rtt_frames as f64 / 1000.0;
         r.rtt_max_ms = conns.iter().map(|c| c.rtt_max_us).max().unwrap_or(0) as f64 / 1000.0;
     }
+    // Exact histogram merge across the fleet, then the tail quantiles.
+    for c in &conns {
+        r.rtt_histo.merge(&c.rtt_histo);
+    }
+    if r.rtt_histo.count() > 0 {
+        r.rtt_p50_ms = r.rtt_histo.quantile(0.50) as f64 / 1000.0;
+        r.rtt_p99_ms = r.rtt_histo.quantile(0.99) as f64 / 1000.0;
+        r.rtt_p999_ms = r.rtt_histo.quantile(0.999) as f64 / 1000.0;
+    }
     // Fairness across connections that actually offered load.
     let ratios: Vec<(f64, f64)> = conns
         .iter()
@@ -390,6 +416,7 @@ fn fleet_thread(cfg: &LoadgenConfig, ids: &[usize], start: Instant) -> (Vec<Clie
             error_replies: 0,
             rtt_sum_us: 0,
             rtt_max_us: 0,
+            rtt_histo: streamshed_engine::histo::Histo::new(),
             dead: false,
         });
     }
@@ -551,6 +578,7 @@ fn fleet_thread(cfg: &LoadgenConfig, ids: &[usize], start: Instant) -> (Vec<Clie
                         let rtt = now.duration_since(sent_at).as_micros() as u64;
                         conn.rtt_sum_us += rtt;
                         conn.rtt_max_us = conn.rtt_max_us.max(rtt);
+                        conn.rtt_histo.record(rtt);
                     }
                     conn.accepted += u64::from(reply.accepted);
                     conn.shed += u64::from(reply.shed);

@@ -53,6 +53,7 @@ use std::time::{Duration, Instant};
 use streamshed_engine::obs::{MetricsFn, ObsPlane};
 use streamshed_engine::rt::RtEngine;
 use streamshed_engine::shard::{BatchResult, ShardedEngine};
+use streamshed_engine::spans::{SpanHandle, Stage};
 use streamshed_engine::telemetry::PromText;
 
 /// An engine front door the server can feed. Object-safe so the server
@@ -339,6 +340,10 @@ impl NetServer {
             let obs = obs.clone();
             let stats = Arc::clone(&stats);
             let drain = Arc::clone(&drain);
+            let spans = obs
+                .as_ref()
+                .and_then(|o| o.plane.as_ref())
+                .map(|p| p.spans().handle(&format!("net{i}")));
             let handle = std::thread::Builder::new()
                 .name(format!("streamshed-net-{i}"))
                 .spawn(move || {
@@ -356,6 +361,7 @@ impl NetServer {
                         addr,
                         conns: Vec::new(),
                         pollfds: Vec::new(),
+                        spans,
                     }
                     .run();
                 })
@@ -430,6 +436,12 @@ struct Worker {
     addr: SocketAddr,
     conns: Vec<Conn>,
     pollfds: Vec<PollFd>,
+    /// Latency-truth-plane slot for this listener thread (`netN`), fed
+    /// from the engine's span registry when the engine runs observed:
+    /// per-stage wire timings plus the per-frame read→reply-enqueued
+    /// turnaround (recorded as the slot's sojourn histogram, the
+    /// server-side anchor for the loadgen RTT cross-check).
+    spans: Option<SpanHandle>,
 }
 
 impl Worker {
@@ -548,6 +560,7 @@ impl Worker {
         // Readable (or hangup with possibly-buffered final bytes).
         if revents & (POLLIN | POLLHUP) != 0 && !self.conns[i].closing {
             loop {
+                let read_t0 = self.spans.as_ref().map(|_| Instant::now());
                 let n = match self.conns[i].stream.read(scratch) {
                     Ok(0) => {
                         // Peer EOF: flush whatever replies remain, then
@@ -560,6 +573,9 @@ impl Worker {
                     Err(e) if e.kind() == ErrorKind::Interrupted => continue,
                     Err(_) => return true,
                 };
+                if let (Some(h), Some(t0)) = (self.spans.as_ref(), read_t0) {
+                    h.record(Stage::NetRead, t0.elapsed().as_nanos() as u64);
+                }
                 self.stats.bytes_read.fetch_add(n as u64, Ordering::Relaxed);
                 self.conns[i].last_activity = Instant::now();
                 self.conns[i].rbuf.extend_from_slice(&scratch[..n]);
@@ -610,9 +626,16 @@ impl Worker {
             if self.conns[i].wbuf.len() + replies.len() > self.cfg.max_write_buf {
                 break; // backpressure: leave the rest buffered
             }
+            // Per-frame wire staging: decode → admission → reply encode,
+            // plus the frame's read→reply-enqueued turnaround closed as
+            // the net slot's sojourn. Timestamps only exist when a span
+            // slot is attached, so the unobserved hot path stays free of
+            // clock reads.
+            let frame_t0 = self.spans.as_ref().map(|_| Instant::now());
             match wire::decode_frame(&rbuf[consumed..], self.cfg.max_frame_tuples) {
                 Ok(None) => break,
                 Ok(Some((frame, used))) => {
+                    let decode_done = frame_t0.map(|_| Instant::now());
                     // The admission call: shed decisions happen in here,
                     // *before* any key is read from the buffer.
                     let res = if frame.keyed {
@@ -621,6 +644,7 @@ impl Worker {
                     } else {
                         self.door.offer_batch(frame.count as usize)
                     };
+                    let admit_done = frame_t0.map(|_| Instant::now());
                     consumed += used;
                     wire::encode_reply_into(
                         &mut replies,
@@ -633,6 +657,15 @@ impl Worker {
                             seq: frame.seq,
                         },
                     );
+                    if let (Some(h), Some(t0), Some(t1), Some(t2)) =
+                        (self.spans.as_ref(), frame_t0, decode_done, admit_done)
+                    {
+                        let ns = |d: Duration| d.as_nanos() as u64;
+                        h.record(Stage::Decode, ns(t1.duration_since(t0)));
+                        h.record(Stage::Admission, ns(t2.duration_since(t1)));
+                        h.record(Stage::Reply, ns(t2.elapsed()));
+                        h.record_sojourn(ns(t0.elapsed()));
+                    }
                     self.stats.frames_received.fetch_add(1, Ordering::Relaxed);
                     self.stats.replies_sent.fetch_add(1, Ordering::Relaxed);
                     self.stats.add_result(&res);
@@ -767,15 +800,25 @@ impl Worker {
             },
             ("GET", "/trace") => match self.obs.as_ref().and_then(|o| o.plane.as_ref()) {
                 Some(plane) => {
+                    // Hostile or absent `last` values fall back to 64;
+                    // oversized ones clamp to the ring's length.
                     let last = query_param(query, "last")
                         .and_then(|v| v.parse::<usize>().ok())
                         .unwrap_or(64);
                     let traces = plane.recorder().snapshot();
                     let skip = traces.len().saturating_sub(last);
+                    if query_param(query, "format") == Some("csv") {
+                        let body = streamshed_engine::telemetry::export_csv(&traces[skip..]);
+                        return (200, "text/csv; charset=utf-8", body);
+                    }
                     let items: Vec<String> =
                         traces[skip..].iter().map(|t| t.to_jsonl()).collect();
                     (200, "application/json", format!("[{}]", items.join(",")))
                 }
+                None => (404, "application/json", "{\"error\":\"no obs plane\"}".into()),
+            },
+            ("GET", "/profile") => match self.obs.as_ref().and_then(|o| o.plane.as_ref()) {
+                Some(plane) => (200, "application/json", plane.spans().snapshot().to_json()),
                 None => (404, "application/json", "{\"error\":\"no obs plane\"}".into()),
             },
             _ => (404, "application/json", "{\"error\":\"not found\"}".into()),

@@ -24,6 +24,7 @@ fn main() {
         headroom: 0.97,
         queue_capacity: 8192,
         panic_on_tuple: None,
+        sample_every: streamshed_engine::spans::DEFAULT_SAMPLE_EVERY,
     };
     // Loop config in the controller's units: everything in ms.
     let loop_cfg = LoopConfig::paper_default()

@@ -11,6 +11,8 @@
 //! curl -s localhost:9184/health    # classifier verdict (503 on Diverging)
 //! curl -s localhost:9184/ready     # readiness (503 until the first period)
 //! curl -s "localhost:9184/trace?last=5"   # newest control-loop records
+//! curl -s "localhost:9184/trace?last=5&format=csv"  # same, as CSV
+//! curl -s localhost:9184/profile   # per-stage latency shares + percentiles
 //! ```
 //!
 //! Defaults: port 9184, 5 seconds. CI uses this binary as the endpoint
